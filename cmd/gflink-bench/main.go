@@ -1,0 +1,73 @@
+// Command gflink-bench regenerates the tables and figures of the
+// GFlink paper's evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	gflink-bench -list
+//	gflink-bench -exp fig5a,table2
+//	gflink-bench -all [-scale 4] [-md results.md]
+//
+// -scale divides the real (in-memory) data sizes without changing any
+// simulated cost; 1 is full fidelity, larger values run faster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gflink/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		exps   = flag.String("exp", "", "comma-separated experiment IDs to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Int64("scale", 1, "real-data scale divisor multiplier (1 = full fidelity)")
+		mdPath = flag.String("md", "", "also write results as markdown to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	case *exps != "":
+		ids = strings.Split(*exps, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -exp or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var md strings.Builder
+	md.WriteString("# GFlink reproduction results\n\n")
+	for _, id := range ids {
+		e, ok := bench.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		t := e.Run(*scale)
+		fmt.Println(t.String())
+		md.WriteString(t.Markdown())
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing markdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdPath)
+	}
+}

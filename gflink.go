@@ -1,0 +1,114 @@
+// Package gflink is a Go reproduction of GFlink (Chen, Li, Ouyang,
+// Zeng, Li — ICPP 2016 / IEEE TPDS 29(6), 2018): an in-memory computing
+// architecture on heterogeneous CPU-GPU clusters for big data.
+//
+// The public surface re-exports the system's layers:
+//
+//   - the baseline Flink-like engine (cluster, jobs, DataSet operators),
+//   - GFlink itself (GPUManagers, GDST blocks, GWork, the GPU cache and
+//     the adaptive locality-aware stream scheduler),
+//   - the GStruct schema system with AoS/SoA/AoP layouts,
+//   - the workload suite and the benchmark harness that regenerates
+//     every table and figure of the paper's evaluation.
+//
+// Everything runs on a deterministic virtual clock: times reported by
+// jobs are simulated seconds derived from explicit hardware cost models
+// (see DESIGN.md), while all data transformations really execute, so
+// results are checkable.
+//
+// Quick start:
+//
+//	g := gflink.New(gflink.Config{
+//		Config:        gflink.ClusterConfig{Workers: 2, Model: costmodel.Default()},
+//		GPUsPerWorker: 2,
+//	})
+//	g.Run(func() {
+//		job := g.Cluster.NewJob("example")
+//		// build GDSTs, submit GWork, run operators...
+//		_ = job
+//	})
+//
+// See examples/ for complete programs.
+package gflink
+
+import (
+	"gflink/internal/core"
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/gstruct"
+)
+
+// Core GFlink types.
+type (
+	// Config configures a GFlink deployment (cluster plus GPU-side
+	// parameters).
+	Config = core.Config
+	// ClusterConfig configures the baseline engine.
+	ClusterConfig = flink.Config
+	// GFlink is a running deployment: the embedded cluster plus one
+	// GPUManager per worker.
+	GFlink = core.GFlink
+	// GWork is the unit of GPU work (Section 3.5.3 of the paper).
+	GWork = core.GWork
+	// Input is one input buffer of a GWork with its cache directive.
+	Input = core.Input
+	// CacheKey identifies a cached block on a device.
+	CacheKey = core.CacheKey
+	// Block is a page of GStruct records in off-heap memory.
+	Block = core.Block
+	// GDST is a distributed dataset of blocks.
+	GDST = core.GDST
+	// GPUMapSpec configures a gpuMapPartition operator.
+	GPUMapSpec = core.GPUMapSpec
+	// Schema is a GStruct definition with C-compatible layout.
+	Schema = gstruct.Schema
+	// Field is one GStruct member.
+	Field = gstruct.Field
+	// GPUProfile describes a device generation.
+	GPUProfile = costmodel.GPUProfile
+)
+
+// Deployment constructors.
+var (
+	// New builds a homogeneous deployment.
+	New = core.New
+	// NewHetero builds a deployment with per-device GPU profiles.
+	NewHetero = core.NewHetero
+)
+
+// GDST constructors and operators.
+var (
+	// NewGDST builds a GDST from a schema and a fill function.
+	NewGDST = core.NewGDST
+	// GPUMapPartition is the paper's gpuMapPartition operator.
+	GPUMapPartition = core.GPUMapPartition
+	// GPUReducePartition is the per-block GPU reducer.
+	GPUReducePartition = core.GPUReducePartition
+	// CollectBlocks gathers blocks to the driver.
+	CollectBlocks = core.CollectBlocks
+	// FreeBlocks releases a dead dataset's off-heap buffers.
+	FreeBlocks = core.FreeBlocks
+)
+
+// GStruct schema helpers.
+var (
+	// NewSchema declares a GStruct (returns an error on invalid specs).
+	NewSchema = gstruct.New
+	// MustSchema is NewSchema panicking on error.
+	MustSchema = gstruct.MustNew
+)
+
+// Layout constants (Section 2.1).
+const (
+	AoS = gstruct.AoS
+	SoA = gstruct.SoA
+	AoP = gstruct.AoP
+)
+
+// Device generations used in the paper's evaluation.
+var (
+	GTX750 = costmodel.GTX750
+	C2050  = costmodel.C2050
+	K20    = costmodel.K20
+	P100   = costmodel.P100
+)

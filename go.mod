@@ -1,0 +1,3 @@
+module gflink
+
+go 1.22

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"time"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/gpu"
+)
+
+// Config extends the baseline cluster configuration with the GPU-side
+// parameters GFlink adds.
+type Config struct {
+	flink.Config
+
+	// GPUsPerWorker is the device count per slave node (the paper's
+	// testbed uses 2).
+	GPUsPerWorker int
+	// GPUProfile selects the device generation; zero value means Tesla
+	// C2050, the cluster experiments' GPU.
+	GPUProfile costmodel.GPUProfile
+	// StreamsPerGPU sizes each GStream Pool bulk (default 4).
+	StreamsPerGPU int
+	// CacheBytesPerJob is the per-job, per-device cache-region capacity
+	// (the user-defined parameter of Section 4.2.2). 0 means 60% of
+	// device memory.
+	CacheBytesPerJob int64
+	// CachePolicy selects FIFO eviction (default) or StopWhenFull.
+	CachePolicy CachePolicy
+	// Scheduler selects Algorithm 5.1 (default) or the RoundRobin
+	// ablation.
+	Scheduler SchedulerPolicy
+	// DisableStealing turns off Algorithm 5.2 (ablation).
+	DisableStealing bool
+	// MaxBlockNominal bounds the paper-scale bytes one GDST block
+	// represents (the effective memory-page granularity of the
+	// three-stage pipeline). 0 means 128 MiB.
+	MaxBlockNominal int64
+}
+
+// GFlink is a cluster with one GPUManager per worker — the system of
+// Fig. 1a. It embeds the baseline cluster, so every CPU-path operator
+// keeps working unchanged.
+type GFlink struct {
+	*flink.Cluster
+	Cfg      Config
+	Managers []*GPUManager
+}
+
+// GPUManager manages one worker's GPU computing resources (Fig. 1b):
+// the devices, the communication layer (CUDAWrapper/CUDAStub), the
+// GMemoryManagers and the GStreamManager.
+type GPUManager struct {
+	Worker  int
+	Wrapper *CUDAWrapper
+	Devices []*gpu.Device
+	Streams *GStreamManager
+}
+
+// New builds a GFlink deployment.
+func New(cfg Config) *GFlink {
+	if cfg.GPUsPerWorker <= 0 {
+		cfg.GPUsPerWorker = 1
+	}
+	if cfg.GPUProfile.Name == "" {
+		cfg.GPUProfile = costmodel.C2050
+	}
+	cluster := flink.NewCluster(cfg.Config)
+	cfg.Config = cluster.Cfg
+	if cfg.CacheBytesPerJob <= 0 {
+		cfg.CacheBytesPerJob = cfg.GPUProfile.MemBytes * 6 / 10
+	}
+	g := &GFlink{Cluster: cluster, Cfg: cfg}
+	devID := 0
+	for w := 0; w < cfg.Config.Workers; w++ {
+		wrapper := NewCUDAWrapper(cluster.Clock, cfg.Config.Model)
+		mgr := &GPUManager{Worker: w, Wrapper: wrapper}
+		var mems []*GMemoryManager
+		for k := 0; k < cfg.GPUsPerWorker; k++ {
+			dev := gpu.NewDevice(cluster.Clock, devID, w, cfg.GPUProfile, cfg.Config.Model.PCIe)
+			devID++
+			mgr.Devices = append(mgr.Devices, dev)
+			mems = append(mems, NewGMemoryManager(dev, wrapper, cfg.CacheBytesPerJob, cfg.CachePolicy))
+		}
+		mgr.Streams = NewGStreamManager(cluster.Clock, wrapper, mems, cfg.StreamsPerGPU, cfg.Scheduler, !cfg.DisableStealing)
+		g.Managers = append(g.Managers, mgr)
+	}
+	return g
+}
+
+// NewHetero builds a GFlink deployment whose workers carry the given
+// per-device profiles (for the heterogeneous-GPU experiments of
+// Fig 8b). profiles[w][k] is worker w's k-th device.
+func NewHetero(cfg Config, profiles [][]costmodel.GPUProfile) *GFlink {
+	cluster := flink.NewCluster(cfg.Config)
+	cfg.Config = cluster.Cfg
+	g := &GFlink{Cluster: cluster, Cfg: cfg}
+	devID := 0
+	for w := 0; w < cfg.Config.Workers; w++ {
+		wrapper := NewCUDAWrapper(cluster.Clock, cfg.Config.Model)
+		mgr := &GPUManager{Worker: w, Wrapper: wrapper}
+		var mems []*GMemoryManager
+		for _, prof := range profiles[w] {
+			cap := cfg.CacheBytesPerJob
+			if cap <= 0 {
+				cap = prof.MemBytes * 6 / 10
+			}
+			dev := gpu.NewDevice(cluster.Clock, devID, w, prof, cfg.Config.Model.PCIe)
+			devID++
+			mgr.Devices = append(mgr.Devices, dev)
+			mems = append(mems, NewGMemoryManager(dev, wrapper, cap, cfg.CachePolicy))
+		}
+		mgr.Streams = NewGStreamManager(cluster.Clock, wrapper, mems, cfg.StreamsPerGPU, cfg.Scheduler, !cfg.DisableStealing)
+		g.Managers = append(g.Managers, mgr)
+	}
+	return g
+}
+
+// Manager returns worker w's GPUManager.
+func (g *GFlink) Manager(w int) *GPUManager { return g.Managers[w] }
+
+// Close shuts every stream worker and device down. It must be called
+// inside the simulation, after all submitted work has completed.
+func (g *GFlink) Close() {
+	for _, m := range g.Managers {
+		m.Streams.Close()
+	}
+	for _, m := range g.Managers {
+		for _, d := range m.Devices {
+			d.Close()
+		}
+	}
+}
+
+// Run executes driver as the simulation root and closes the deployment
+// when it returns; it yields the total virtual time.
+func (g *GFlink) Run(driver func()) time.Duration {
+	return g.Clock.Run(func() {
+		defer g.Close()
+		driver()
+	})
+}
+
+// ReleaseJobCaches frees the job's cache regions on every device of
+// every worker (called when a job finishes).
+func (g *GFlink) ReleaseJobCaches(jobID int) {
+	for _, m := range g.Managers {
+		for i := 0; i < m.Streams.Devices(); i++ {
+			m.Streams.Memory(i).ReleaseJob(jobID)
+		}
+	}
+}

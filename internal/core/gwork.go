@@ -1,0 +1,111 @@
+// Package core implements GFlink itself — the paper's contribution —
+// on top of the baseline engine in package flink:
+//
+//   - GWork (Section 3.5.3): the unit of GPU work programmers assemble
+//     in GPU-based Mappers and Reducers — kernel entry name, ptx path,
+//     input/output HBuffers, launch geometry and cache directives.
+//   - CUDAWrapper / CUDAStub (Section 4.1): the control channel (JNI
+//     calls wrapping the CUDA driver API) and the transfer channel
+//     (direct off-heap buffer DMA, page-locking, async copies).
+//   - GMemoryManager (Section 4.2): automatic device-memory management
+//     plus the per-job GPU cache — a hash table keyed by partition and
+//     block IDs with FIFO eviction, or the alternative
+//     stop-caching-when-full policy.
+//   - GStreamManager (Section 5): the producer-consumer execution model
+//     where TaskManager tasks produce GWork and CUDA streams consume it
+//     through the three-stage H2D/kernel/D2H pipeline, scheduled by the
+//     adaptive locality-aware algorithm (Algorithm 5.1) with
+//     locality-aware work stealing (Algorithm 5.2).
+//   - GDST (Section 3.5.1): GStruct-backed block datasets and the
+//     gpuMapPartition / gpuReducePartition operators.
+package core
+
+import (
+	"time"
+
+	"gflink/internal/gpu"
+	"gflink/internal/membuf"
+	"gflink/internal/vclock"
+)
+
+// CacheKey identifies a cached block in a device's cache region. "By
+// default, the key of a block is the partition ID and the block ID"
+// (Section 4.2.2); JobID scopes regions per job.
+type CacheKey struct {
+	JobID     int
+	Partition int
+	Block     int
+}
+
+// Input is one input HBuffer of a GWork, with its nominal transfer size
+// and cache directive.
+type Input struct {
+	Buf     *membuf.HBuffer
+	Nominal int64
+	Cache   bool
+	Key     CacheKey
+}
+
+// GWork is the abstraction model for GPU computing (Section 3.5.3):
+// programmers set the buffers, the ptx path and kernel entry name, the
+// launch geometry and the cache flags, then submit it to the
+// GStreamManager.
+type GWork struct {
+	// PtxPath and ExecuteName locate the kernel (the registry in
+	// package gpu stands in for loaded ptx modules).
+	PtxPath     string
+	ExecuteName string
+	// Size is the real element count; Nominal the paper-scale count
+	// used for cost accounting.
+	Size    int
+	Nominal int64
+	// BlockSize and GridSize mirror the CUDA launch configuration.
+	BlockSize, GridSize int
+	// In are the input buffers; Out receives the result.
+	In         []Input
+	Out        *membuf.HBuffer
+	OutNominal int64
+	// Args carries scalar kernel arguments.
+	Args []int64
+	// Coalesce is the memory-coalescing factor of the kernel's access
+	// pattern (derived from the GStruct layout); 0 means fully
+	// coalesced.
+	Coalesce float64
+	// JobID scopes the cache region.
+	JobID int
+
+	done   *vclock.Event
+	err    error
+	device *gpu.Device
+	// timings for experiments
+	h2dTime, kernelTime, d2hTime time.Duration
+	cacheHits                    int
+}
+
+// Wait blocks until the work completes and returns its error.
+func (w *GWork) Wait() error {
+	w.done.Wait()
+	return w.err
+}
+
+// Device returns the GPU that executed the work (after Wait).
+func (w *GWork) Device() *gpu.Device { return w.device }
+
+// CacheHits reports how many inputs were served from the GPU cache.
+func (w *GWork) CacheHits() int { return w.cacheHits }
+
+// Timings returns the three pipeline stage durations (after Wait).
+func (w *GWork) Timings() (h2d, kernel, d2h time.Duration) {
+	return w.h2dTime, w.kernelTime, w.d2hTime
+}
+
+// totalCachedBytes sums the nominal sizes of the cache-flagged inputs.
+func (w *GWork) totalCachedBytes() int64 {
+	var n int64
+	for _, in := range w.In {
+		if in.Cache {
+			n += in.Nominal
+		}
+	}
+	return n
+}

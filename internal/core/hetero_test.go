@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/gstruct"
+)
+
+func TestNewHeteroProfilesPerDevice(t *testing.T) {
+	g := NewHetero(Config{
+		Config: flink.Config{Workers: 2, Model: costmodel.Default()},
+	}, [][]costmodel.GPUProfile{
+		{costmodel.C2050, costmodel.K20},
+		{costmodel.P100},
+	})
+	if len(g.Managers) != 2 {
+		t.Fatalf("managers = %d", len(g.Managers))
+	}
+	if got := g.Manager(0).Devices[0].Profile.Name; got != "C2050" {
+		t.Errorf("w0d0 = %s", got)
+	}
+	if got := g.Manager(0).Devices[1].Profile.Name; got != "K20" {
+		t.Errorf("w0d1 = %s", got)
+	}
+	if got := g.Manager(1).Devices[0].Profile.Name; got != "P100" {
+		t.Errorf("w1d0 = %s", got)
+	}
+	g.Run(func() {
+		// The same compute-bound kernel must run faster on the P100 than
+		// on the C2050.
+		run := func(worker int) time.Duration {
+			w, _, _ := submitSimple(g, worker, 64, 1<<28, false, CacheKey{})
+			if err := w.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			_, k, _ := w.Timings()
+			return k
+		}
+		c2050 := run(0)
+		p100 := run(1)
+		if p100 >= c2050 {
+			t.Errorf("P100 kernel (%v) not faster than C2050 (%v)", p100, c2050)
+		}
+	})
+}
+
+func TestHeteroCacheCapacityFollowsDevice(t *testing.T) {
+	g := NewHetero(Config{
+		Config: flink.Config{Workers: 1, Model: costmodel.Default()},
+	}, [][]costmodel.GPUProfile{{costmodel.GTX750, costmodel.P100}})
+	small := g.Manager(0).Streams.Memory(0).RegionCap()
+	big := g.Manager(0).Streams.Memory(1).RegionCap()
+	if small >= big {
+		t.Errorf("GTX750 region (%d) not smaller than P100's (%d)", small, big)
+	}
+	g.Run(func() {})
+}
+
+func TestCUDAWrapperChargesControlChannel(t *testing.T) {
+	g := newGFlink(1, 1)
+	m := costmodel.Default()
+	g.Run(func() {
+		dev := g.Manager(0).Devices[0]
+		wr := g.Manager(0).Wrapper
+		t0 := g.Clock.Now()
+		b, err := wr.Malloc(dev, 1024, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One JNI round trip plus the driver's allocation overhead.
+		if got := g.Clock.Now() - t0; got <= m.Overheads.JNICall {
+			t.Errorf("Malloc charged %v, want > JNI %v", got, m.Overheads.JNICall)
+		}
+		t1 := g.Clock.Now()
+		wr.Free(dev, b)
+		if got := g.Clock.Now() - t1; got != m.Overheads.JNICall {
+			t.Errorf("Free charged %v, want %v", got, m.Overheads.JNICall)
+		}
+	})
+}
+
+func TestGPUPathSurvivesProducerTaskRetry(t *testing.T) {
+	// The reliability path the paper cites: a failed producer task is
+	// retried by the JobManager and the GPU work still completes with
+	// correct results.
+	g := New(Config{
+		Config:        flink.Config{Workers: 1, Model: costmodel.Default(), PageSize: 2048, ScaleDivisor: 8},
+		GPUsPerWorker: 1,
+	})
+	g.Run(func() {
+		j := g.Cluster.NewJob("flaky")
+		j.InjectTaskFailures("gpu:double", 2)
+		ds := NewGDST(g, j, f32Schema, gstruct.AoS, 8000, 2, func(part int, v gstruct.View, i int, ord int64) {
+			v.PutFloat32At(i, 0, 0, float32(ord))
+		})
+		out := GPUMapPartition(g, ds, GPUMapSpec{
+			Name: "double", Kernel: "core_test.double",
+			OutSchema: f32Schema, OutLayout: gstruct.AoS,
+		})
+		if j.Retries() != 2 {
+			t.Errorf("retries = %d, want 2", j.Retries())
+		}
+		for p := 0; p < out.Partitions(); p++ {
+			for bi, ob := range out.Partition(p).Items {
+				ib := ds.Partition(p).Items[bi]
+				iv, ov := ib.View(), ob.View()
+				for i := 0; i < ib.N; i++ {
+					if ov.Float32At(i, 0, 0) != 2*iv.Float32At(i, 0, 0) {
+						t.Fatalf("wrong result at p%d b%d i%d after retry", p, bi, i)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gflink/internal/gpu"
+)
+
+// CachePolicy selects the garbage-collection scheme of a cache region
+// (Section 4.2.2 describes both).
+type CachePolicy int
+
+const (
+	// EvictFIFO evicts the oldest cached objects until a new one fits.
+	EvictFIFO CachePolicy = iota
+	// StopWhenFull refuses new insertions once the region is full —
+	// "useful when the data needed to be cached in the GPUs in one
+	// iteration is larger than that of the region".
+	StopWhenFull
+)
+
+// GMemoryManager owns one device's memory on behalf of GFlink
+// (Section 4.2): it allocates and releases buffers automatically around
+// each GWork and maintains the per-job cache regions — a hash table of
+// CacheKey to device buffer plus the FIFO list driving eviction.
+type GMemoryManager struct {
+	dev     *gpu.Device
+	wrapper *CUDAWrapper
+	policy  CachePolicy
+	// regionCap is the per-job cache-region capacity in nominal bytes
+	// (the user-defined parameter of Section 4.2.2).
+	regionCap int64
+
+	mu      sync.Mutex
+	regions map[int]*cacheRegion // by job ID
+}
+
+type cacheRegion struct {
+	capacity int64
+	used     int64
+	entries  map[CacheKey]*cacheEntry
+	fifo     *list.List // of CacheKey, oldest first
+}
+
+type cacheEntry struct {
+	buf     *gpu.Buffer
+	nominal int64
+	refs    int // in-flight kernels using the entry; evictable at 0
+	elem    *list.Element
+}
+
+// NewGMemoryManager builds the manager for one device.
+func NewGMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, policy CachePolicy) *GMemoryManager {
+	return &GMemoryManager{
+		dev:       dev,
+		wrapper:   wrapper,
+		policy:    policy,
+		regionCap: regionCap,
+		regions:   make(map[int]*cacheRegion),
+	}
+}
+
+// Device returns the managed device.
+func (m *GMemoryManager) Device() *gpu.Device { return m.dev }
+
+// RegionCap returns the per-job cache-region capacity.
+func (m *GMemoryManager) RegionCap() int64 { return m.regionCap }
+
+// region returns the job's cache region, allocating it lazily ("the
+// cache region of a specific job is allocated when the job starts").
+func (m *GMemoryManager) region(jobID int) *cacheRegion {
+	r, ok := m.regions[jobID]
+	if !ok {
+		r = &cacheRegion{capacity: m.regionCap, entries: make(map[CacheKey]*cacheEntry), fifo: list.New()}
+		m.regions[jobID] = r
+	}
+	return r
+}
+
+// Acquire looks up key and, when present, pins the entry against
+// eviction and returns its device buffer. Callers must pair a hit with
+// Release.
+func (m *GMemoryManager) Acquire(key CacheKey) (*gpu.Buffer, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.region(key.JobID)
+	e, ok := r.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e.refs++
+	return e.buf, true
+}
+
+// Release unpins a previously acquired entry.
+func (m *GMemoryManager) Release(key CacheKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.region(key.JobID)
+	if e, ok := r.entries[key]; ok && e.refs > 0 {
+		e.refs--
+	}
+}
+
+// Insert caches buf under key, evicting per the region policy. It
+// returns false (and leaves buf owned by the caller) when the region
+// cannot hold the object; on success the region owns buf. The new entry
+// starts pinned with one reference, matching the in-flight kernel that
+// triggered the transfer; the caller must Release it.
+func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.region(key.JobID)
+	if _, dup := r.entries[key]; dup {
+		return false
+	}
+	if nominal > r.capacity {
+		return false
+	}
+	for r.used+nominal > r.capacity {
+		if m.policy == StopWhenFull {
+			return false
+		}
+		if !m.evictOldestLocked(r) {
+			return false // everything pinned
+		}
+	}
+	e := &cacheEntry{buf: buf, nominal: nominal, refs: 1}
+	e.elem = r.fifo.PushBack(key)
+	r.entries[key] = e
+	r.used += nominal
+	return true
+}
+
+// evictOldestLocked removes the oldest unpinned entry, freeing its
+// device buffer. It reports whether anything was evicted.
+func (m *GMemoryManager) evictOldestLocked(r *cacheRegion) bool {
+	for el := r.fifo.Front(); el != nil; el = el.Next() {
+		key := el.Value.(CacheKey)
+		e := r.entries[key]
+		if e.refs > 0 {
+			continue
+		}
+		r.fifo.Remove(el)
+		delete(r.entries, key)
+		r.used -= e.nominal
+		m.dev.Free(e.buf)
+		return true
+	}
+	return false
+}
+
+// CachedBytes sums the nominal sizes of the given keys present in this
+// device's regions — the quantity Algorithm 5.1 maximizes when picking
+// a GPU.
+func (m *GMemoryManager) CachedBytes(keys []CacheKey) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, k := range keys {
+		if r, ok := m.regions[k.JobID]; ok {
+			if e, ok := r.entries[k]; ok {
+				n += e.nominal
+			}
+		}
+	}
+	return n
+}
+
+// Used reports the region occupancy for a job.
+func (m *GMemoryManager) Used(jobID int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.regions[jobID]; ok {
+		return r.used
+	}
+	return 0
+}
+
+// Entries reports the number of cached objects for a job.
+func (m *GMemoryManager) Entries(jobID int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.regions[jobID]; ok {
+		return len(r.entries)
+	}
+	return 0
+}
+
+// Reclaim evicts unpinned cache entries (oldest first, across regions
+// in job order) until the device has at least need bytes free or
+// nothing more can be evicted — the automatic-management behaviour that
+// lets transient GWork allocations proceed under cache pressure.
+func (m *GMemoryManager) Reclaim(need int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.dev.FreeBytes() < need {
+		jobs := make([]int, 0, len(m.regions))
+		for id := range m.regions {
+			jobs = append(jobs, id)
+		}
+		sort.Ints(jobs)
+		evicted := false
+		for _, id := range jobs {
+			if m.evictOldestLocked(m.regions[id]) {
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// ReleaseJob frees a job's whole cache region ("it is released when the
+// job finishes"). Releasing with in-flight references panics: the job
+// cannot finish while its work is still running.
+func (m *GMemoryManager) ReleaseJob(jobID int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[jobID]
+	if !ok {
+		return
+	}
+	for key, e := range r.entries {
+		if e.refs > 0 {
+			panic(fmt.Sprintf("core: ReleaseJob(%d) with pinned cache entry %+v", jobID, key))
+		}
+		m.dev.Free(e.buf)
+	}
+	delete(m.regions, jobID)
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gflink/internal/gpu"
+	"gflink/internal/vclock"
+)
+
+// SchedulerPolicy selects how Submit picks a GPU for a GWork.
+type SchedulerPolicy int
+
+const (
+	// LocalityAware is Algorithm 5.1: prefer the GPU holding the most
+	// cached input bytes.
+	LocalityAware SchedulerPolicy = iota
+	// RoundRobin ignores locality (the ablation baseline).
+	RoundRobin
+)
+
+// GStreamManager is one worker's streaming dataflow engine (Section 5):
+// it owns the GWork Scheduler, the GWork Pool (one FIFO queue per GPU)
+// and the GStream Pool (one bulk of streams per GPU). TaskManager tasks
+// produce GWork via Submit; stream workers consume it, each executing
+// the three-stage H2D / kernel / D2H pipeline on its own CUDA stream.
+type GStreamManager struct {
+	clock    *vclock.Clock
+	wrapper  *CUDAWrapper
+	policy   SchedulerPolicy
+	stealing bool
+
+	mu   sync.Mutex
+	devs []*deviceState
+	rr   int // round-robin cursor
+
+	// counters
+	directDispatch int64
+	pooled         int64
+	steals         int64
+}
+
+type deviceState struct {
+	idx     int
+	dev     *gpu.Device
+	mem     *GMemoryManager
+	queue   []*GWork        // this GPU's FIFO queue in the GWork Pool
+	idle    []*streamWorker // idle streams of this bulk
+	streams []*streamWorker
+	// budget bounds the transient device memory of in-flight works
+	// (device capacity minus the cache region), so concurrent streams
+	// backpressure instead of running the device out of memory.
+	budget    *vclock.Semaphore
+	budgetCap int64
+}
+
+type streamWorker struct {
+	mgr    *GStreamManager
+	ds     *deviceState
+	stream *gpu.Stream
+	inbox  *vclock.Queue[*GWork]
+}
+
+// NewGStreamManager builds the manager over the given device states.
+// streamsPerGPU streams are created per device; all start idle.
+func NewGStreamManager(clock *vclock.Clock, wrapper *CUDAWrapper, mems []*GMemoryManager, streamsPerGPU int, policy SchedulerPolicy, stealing bool) *GStreamManager {
+	if streamsPerGPU <= 0 {
+		streamsPerGPU = 4
+	}
+	m := &GStreamManager{clock: clock, wrapper: wrapper, policy: policy, stealing: stealing}
+	for i, mem := range mems {
+		budgetCap := mem.Device().Profile.MemBytes - mem.RegionCap()
+		if min := mem.Device().Profile.MemBytes / 4; budgetCap < min {
+			budgetCap = min
+		}
+		ds := &deviceState{
+			idx: i, dev: mem.Device(), mem: mem,
+			budget:    vclock.NewSemaphore(clock, fmt.Sprintf("gpu%d-membudget", mem.Device().ID), budgetCap),
+			budgetCap: budgetCap,
+		}
+		for s := 0; s < streamsPerGPU; s++ {
+			sw := &streamWorker{
+				mgr: m,
+				ds:  ds,
+				// Streams are created at deployment startup, before any
+				// measured job, so no control-channel time is charged.
+				stream: mem.Device().NewStream(wrapper.model.CPU),
+				inbox:  vclock.NewQueue[*GWork](clock),
+			}
+			ds.streams = append(ds.streams, sw)
+			ds.idle = append(ds.idle, sw)
+			clock.Go(fmt.Sprintf("gstream-w%d-g%d-s%d", mem.Device().Node, i, s), sw.run)
+		}
+		m.devs = append(m.devs, ds)
+	}
+	return m
+}
+
+// Devices returns the number of GPUs managed.
+func (m *GStreamManager) Devices() int { return len(m.devs) }
+
+// Memory returns device i's GMemoryManager.
+func (m *GStreamManager) Memory(i int) *GMemoryManager { return m.devs[i].mem }
+
+// Close drains and stops every stream worker. Pending pool work is
+// executed first... precisely: Close must only be called when no more
+// work is outstanding; it panics if the GWork Pool is non-empty.
+func (m *GStreamManager) Close() {
+	m.mu.Lock()
+	for _, ds := range m.devs {
+		if len(ds.queue) > 0 {
+			m.mu.Unlock()
+			panic("core: GStreamManager.Close with queued GWork")
+		}
+	}
+	devs := m.devs
+	m.mu.Unlock()
+	for _, ds := range devs {
+		for _, sw := range ds.streams {
+			sw.inbox.Close()
+		}
+	}
+}
+
+// Stats reports scheduling counters (direct dispatches to idle streams,
+// pool enqueues, steals).
+func (m *GStreamManager) Stats() (direct, pooled, steals int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.directDispatch, m.pooled, m.steals
+}
+
+// Submit schedules w per Algorithm 5.1. It never blocks the producer:
+// when every stream is busy the work parks in the GWork Pool.
+func (m *GStreamManager) Submit(w *GWork) {
+	if w.done == nil {
+		w.done = vclock.NewEvent(m.clock)
+	}
+	m.mu.Lock()
+	gid := m.pickGPULocked(w)
+
+	var sw *streamWorker
+	if gid >= 0 && len(m.devs[gid].idle) > 0 {
+		// Line 6: an idle stream on the locality-preferred GPU.
+		sw = m.popIdleLocked(gid)
+	} else {
+		// Lines 3-4 / 8-9: the bulk with the most idle streams.
+		if b := m.bulkWithMostIdleLocked(); b >= 0 {
+			sw = m.popIdleLocked(b)
+		}
+	}
+	if sw == nil {
+		// Lines 11-18: no idle stream anywhere; park in the pool.
+		q := gid
+		if q < 0 {
+			q = m.queueWithLeastWorkLocked()
+		}
+		m.devs[q].queue = append(m.devs[q].queue, w)
+		m.pooled++
+		m.mu.Unlock()
+		return
+	}
+	m.directDispatch++
+	m.mu.Unlock()
+	sw.inbox.Put(w)
+}
+
+// pickGPULocked implements the GMemoryManager consultation of
+// Algorithm 5.1: the GPU with the biggest sum of the work's cached
+// input bytes resident in device memory, or -1 when nothing is cached
+// anywhere (GID null). Under RoundRobin it cycles through devices.
+func (m *GStreamManager) pickGPULocked(w *GWork) int {
+	if m.policy == RoundRobin {
+		gid := m.rr % len(m.devs)
+		m.rr++
+		return gid
+	}
+	var keys []CacheKey
+	for _, in := range w.In {
+		if in.Cache {
+			keys = append(keys, in.Key)
+		}
+	}
+	if len(keys) == 0 {
+		return -1
+	}
+	best, bestBytes := -1, int64(0)
+	for i, ds := range m.devs {
+		if n := ds.mem.CachedBytes(keys); n > bestBytes {
+			best, bestBytes = i, n
+		}
+	}
+	return best
+}
+
+func (m *GStreamManager) popIdleLocked(gid int) *streamWorker {
+	ds := m.devs[gid]
+	if len(ds.idle) == 0 {
+		return nil
+	}
+	sw := ds.idle[0]
+	ds.idle = ds.idle[1:]
+	return sw
+}
+
+func (m *GStreamManager) bulkWithMostIdleLocked() int {
+	best, most := -1, 0
+	for i, ds := range m.devs {
+		if len(ds.idle) > most {
+			best, most = i, len(ds.idle)
+		}
+	}
+	return best
+}
+
+func (m *GStreamManager) queueWithLeastWorkLocked() int {
+	best, least := 0, int(^uint(0)>>1)
+	for i, ds := range m.devs {
+		if len(ds.queue) < least {
+			best, least = i, len(ds.queue)
+		}
+	}
+	return best
+}
+
+// stealLocked implements Algorithm 5.2 for a stream of GPU gid: first
+// the GPU's own queue, then (when stealing is enabled) the queue with
+// the most pending GWork.
+func (m *GStreamManager) stealLocked(gid int) *GWork {
+	if q := m.devs[gid].queue; len(q) > 0 {
+		w := q[0]
+		m.devs[gid].queue = q[1:]
+		return w
+	}
+	if !m.stealing {
+		return nil
+	}
+	best, most := -1, 0
+	for i, ds := range m.devs {
+		if len(ds.queue) > most {
+			best, most = i, len(ds.queue)
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	w := m.devs[best].queue[0]
+	m.devs[best].queue = m.devs[best].queue[1:]
+	m.steals++
+	return w
+}
+
+// nextOrIdle atomically either takes more work for sw or parks it on
+// the idle list, so no submission can fall between the check and the
+// park.
+func (m *GStreamManager) nextOrIdle(sw *streamWorker) *GWork {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w := m.stealLocked(sw.ds.idx); w != nil {
+		return w
+	}
+	sw.ds.idle = append(sw.ds.idle, sw)
+	return nil
+}
+
+// run is a stream worker's consumer loop: execute directly handed work,
+// then keep pulling from the GWork Pool until it runs dry, then go
+// idle. (This is the event-driven equivalent of the paper's periodic
+// Stealing poll with an idle-timeout thread release.)
+func (sw *streamWorker) run() {
+	for {
+		w, ok := sw.inbox.Get()
+		if !ok {
+			return
+		}
+		for w != nil {
+			sw.exec(w)
+			w = sw.mgr.nextOrIdle(sw)
+		}
+	}
+}
+
+// exec runs one GWork through the three-stage pipeline on this stream.
+func (sw *streamWorker) exec(w *GWork) {
+	mgr := sw.mgr
+	dev := sw.ds.dev
+	mem := sw.ds.mem
+	wr := mgr.wrapper
+
+	// Admission control: reserve the work's worst-case transient device
+	// memory atomically so concurrent streams throttle instead of
+	// failing allocations mid-flight.
+	footprint := w.OutNominal
+	for _, in := range w.In {
+		footprint += in.Nominal
+	}
+	if footprint > sw.ds.budgetCap {
+		footprint = sw.ds.budgetCap
+	}
+	if footprint > 0 {
+		sw.ds.budget.Acquire(footprint)
+		defer sw.ds.budget.Release(footprint)
+	}
+
+	var (
+		devBufs  = make([]*gpu.Buffer, len(w.In))
+		acquired []CacheKey
+		toCache  []int // indices of w.In to insert after transfer
+		toFree   []*gpu.Buffer
+	)
+	// malloc with cache-reclaim fallback: when device memory is tight,
+	// evict unpinned cache entries and retry once.
+	malloc := func(nominal int64, real int) (*gpu.Buffer, error) {
+		b, err := wr.Malloc(dev, nominal, real)
+		if err != nil {
+			mem.Reclaim(nominal)
+			b, err = wr.Malloc(dev, nominal, real)
+		}
+		return b, err
+	}
+	fail := func(err error) {
+		for _, k := range acquired {
+			mem.Release(k)
+		}
+		for _, b := range toFree {
+			wr.Free(dev, b)
+		}
+		w.err = err
+		w.device = dev
+		w.done.Set()
+	}
+
+	tStart := mgr.clock.Now()
+	// Stage 1: host-to-device input transfers, skipping cache hits.
+	for i, in := range w.In {
+		if in.Cache {
+			if buf, ok := mem.Acquire(in.Key); ok {
+				devBufs[i] = buf
+				acquired = append(acquired, in.Key)
+				w.cacheHits++
+				continue
+			}
+		}
+		buf, err := malloc(in.Nominal, len(in.Buf.Bytes()))
+		if err != nil {
+			fail(fmt.Errorf("allocating input %d of %q: %w", i, w.ExecuteName, err))
+			return
+		}
+		devBufs[i] = buf
+		if in.Cache {
+			toCache = append(toCache, i)
+		} else {
+			toFree = append(toFree, buf)
+		}
+		wr.HostRegister(in.Buf)
+		wr.MemcpyH2DAsync(sw.stream, buf, in.Buf, in.Nominal)
+	}
+
+	outBuf, err := malloc(w.OutNominal, len(w.Out.Bytes()))
+	if err != nil {
+		fail(fmt.Errorf("allocating output of %q: %w", w.ExecuteName, err))
+		return
+	}
+	toFree = append(toFree, outBuf)
+	wr.HostRegister(w.Out)
+
+	var tAfterH2D time.Duration
+	sw.stream.Callback(func() { tAfterH2D = mgr.clock.Now() })
+
+	// Stage 2: kernel execution.
+	ctx := &gpu.KernelCtx{
+		In:        devBufs,
+		Out:       []*gpu.Buffer{outBuf},
+		N:         w.Size,
+		Nominal:   w.Nominal,
+		GridSize:  w.GridSize,
+		BlockSize: w.BlockSize,
+		Args:      w.Args,
+	}
+	if w.Coalesce > 0 {
+		ctx.SetCoalesce(w.Coalesce)
+	}
+	fut := wr.LaunchAsync(sw.stream, w.ExecuteName, ctx)
+
+	// Stage 3: device-to-host output transfer.
+	wr.MemcpyD2HAsync(sw.stream, w.Out, outBuf, w.OutNominal)
+	wr.StreamSynchronize(sw.stream)
+	kernelDur, kerr := fut.Wait()
+
+	// Post-execution bookkeeping: cache fresh inputs, then drop pins and
+	// scratch allocations.
+	for _, i := range toCache {
+		in := w.In[i]
+		if mem.Insert(in.Key, devBufs[i], in.Nominal) {
+			acquired = append(acquired, in.Key)
+		} else {
+			toFree = append(toFree, devBufs[i])
+		}
+	}
+	for _, k := range acquired {
+		mem.Release(k)
+	}
+	for _, b := range toFree {
+		wr.Free(dev, b)
+	}
+
+	tEnd := mgr.clock.Now()
+	w.h2dTime = tAfterH2D - tStart
+	w.kernelTime = kernelDur
+	w.d2hTime = tEnd - tAfterH2D - kernelDur
+	if w.d2hTime < 0 {
+		w.d2hTime = 0
+	}
+	w.err = kerr
+	w.device = dev
+	w.done.Set()
+}

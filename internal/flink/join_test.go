@@ -1,0 +1,108 @@
+package flink
+
+import (
+	"sort"
+	"testing"
+
+	"gflink/internal/costmodel"
+)
+
+func TestJoinSemantics(t *testing.T) {
+	c := testCluster(2)
+	type user struct {
+		ID   int
+		Name string
+	}
+	type order struct {
+		UserID int
+		Amount int
+	}
+	type row struct {
+		Name   string
+		Amount int
+	}
+	c.Clock.Run(func() {
+		j := c.NewJob("join")
+		users := FromPartitions(j, 16, []Partition[user]{
+			{Worker: 0, Items: []user{{1, "ann"}, {2, "bob"}}, Nominal: 2},
+			{Worker: 1, Items: []user{{3, "cat"}}, Nominal: 1},
+		})
+		orders := FromPartitions(j, 12, []Partition[order]{
+			{Worker: 0, Items: []order{{1, 10}, {3, 30}, {1, 11}}, Nominal: 3},
+			{Worker: 1, Items: []order{{2, 20}, {9, 99}}, Nominal: 2},
+		})
+		joined := Join(users, orders, "userOrders", costmodel.Work{Flops: 10}, 24,
+			func(u user) int { return u.ID },
+			func(o order) int { return o.UserID },
+			func(u user, o order) row { return row{Name: u.Name, Amount: o.Amount} })
+		got := Collect(joined)
+		sort.Slice(got, func(i, k int) bool {
+			if got[i].Name != got[k].Name {
+				return got[i].Name < got[k].Name
+			}
+			return got[i].Amount < got[k].Amount
+		})
+		want := []row{{"ann", 10}, {"ann", 11}, {"bob", 20}, {"cat", 30}}
+		if len(got) != len(want) {
+			t.Fatalf("join produced %d rows, want %d: %v", len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestJoinChargesShuffle(t *testing.T) {
+	c := NewCluster(Config{Workers: 2, Model: costmodel.Default(), ScaleDivisor: 100})
+	c.Clock.Run(func() {
+		j := c.NewJob("joincost")
+		a := Generate(j, "a", 100_000, 32, 4, func(p int, ord int64) int64 { return ord % 1000 })
+		b := Generate(j, "b", 100_000, 32, 4, func(p int, ord int64) int64 { return ord % 1000 })
+		Join(a, b, "selfish", costmodel.Work{}, 16,
+			func(v int64) int64 { return v },
+			func(v int64) int64 { return v },
+			func(x, y int64) [2]int64 { return [2]int64{x, y} })
+	})
+	if _, bytes := c.Net.Stats(); bytes == 0 {
+		t.Error("join moved no bytes over the network")
+	}
+}
+
+func TestJoinAcrossJobsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-job join did not panic")
+		}
+	}()
+	c := testCluster(1)
+	c.Clock.Run(func() {
+		j1 := c.NewJob("one")
+		j2 := c.NewJob("two")
+		a := Generate(j1, "a", 10, 8, 1, func(int, int64) int64 { return 0 })
+		b := Generate(j2, "b", 10, 8, 1, func(int, int64) int64 { return 0 })
+		Join(a, b, "bad", costmodel.Work{}, 8,
+			func(v int64) int64 { return v }, func(v int64) int64 { return v },
+			func(x, y int64) int64 { return x + y })
+	})
+}
+
+func TestCountByKey(t *testing.T) {
+	c := testCluster(2)
+	c.Clock.Run(func() {
+		j := c.NewJob("cbk")
+		ds := Generate(j, "n", 90, 8, 3, func(p int, ord int64) int64 { return ord % 3 })
+		counts := CountByKey(ds, "mod3", func(v int64) int64 { return v })
+		var total int64
+		for _, n := range counts {
+			total += n
+		}
+		if total != ds.RealCount() {
+			t.Errorf("counts sum to %d, want %d", total, ds.RealCount())
+		}
+		if len(counts) != 3 {
+			t.Errorf("distinct keys = %d, want 3", len(counts))
+		}
+	})
+}

@@ -1,0 +1,305 @@
+// Package gpu implements the virtual GPU devices GFlink schedules work
+// onto. A Device mirrors the CUDA execution model the paper relies on:
+//
+//   - a device-memory allocator with explicit capacity (cudaMalloc /
+//     cudaFree),
+//   - one or two DMA copy engines over a shared PCIe link (half- vs
+//     full-duplex, Section 4.1.2),
+//   - asynchronous Streams — FIFO command queues whose operations from
+//     different streams overlap (Section 5),
+//   - kernels: registered Go functions that really execute over the raw
+//     device-buffer bytes (so results are bit-checkable against CPU
+//     references) and report their resource demand, which is charged on
+//     the virtual clock through the roofline model in costmodel.
+//
+// Device buffers distinguish the *nominal* size (what the paper-scale
+// dataset would occupy, used for capacity accounting and timing) from
+// the *real* backing bytes (the scaled-down data actually computed on).
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/membuf"
+	"gflink/internal/vclock"
+)
+
+// MallocOverhead is the fixed driver cost of one device allocation.
+const MallocOverhead = 10 * time.Microsecond
+
+// Device is one virtual GPU.
+type Device struct {
+	ID      int
+	Node    int
+	Profile costmodel.GPUProfile
+
+	clock   *vclock.Clock
+	pcie    costmodel.PCIe
+	compute *vclock.Semaphore
+	h2d     *vclock.Semaphore
+	d2h     *vclock.Semaphore
+
+	mu        sync.Mutex
+	usedBytes int64 // nominal
+	nextBuf   int64
+	streams   []*Stream
+	closed    bool
+
+	// Counters for tests and EXPERIMENTS.md.
+	kernels   int64
+	h2dBytes  int64
+	d2hBytes  int64
+	h2dCopies int64
+	d2hCopies int64
+}
+
+// NewDevice creates a device with the given profile on a node's PCIe
+// link. With one copy engine the same DMA unit serves both directions
+// (half duplex); with two, H2D and D2H can overlap.
+func NewDevice(clock *vclock.Clock, id, node int, profile costmodel.GPUProfile, pcie costmodel.PCIe) *Device {
+	d := &Device{
+		ID:      id,
+		Node:    node,
+		Profile: profile,
+		clock:   clock,
+		pcie:    pcie,
+		compute: vclock.NewSemaphore(clock, fmt.Sprintf("gpu%d-compute", id), 1),
+	}
+	h2d := vclock.NewSemaphore(clock, fmt.Sprintf("gpu%d-dma0", id), 1)
+	d.h2d = h2d
+	if profile.CopyEngines >= 2 {
+		d.d2h = vclock.NewSemaphore(clock, fmt.Sprintf("gpu%d-dma1", id), 1)
+	} else {
+		d.d2h = h2d
+	}
+	return d
+}
+
+// Buffer is a device-memory allocation.
+type Buffer struct {
+	dev     *Device
+	id      int64
+	nominal int64
+	data    []byte
+	freed   bool
+}
+
+// NominalSize returns the capacity-accounting size in bytes.
+func (b *Buffer) NominalSize() int64 { return b.nominal }
+
+// Bytes returns the real backing storage kernels compute on.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Device returns the owning device.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Malloc allocates nominal bytes of device memory backed by real bytes
+// of host storage. It fails when device memory is exhausted.
+func (d *Device) Malloc(nominal int64, real int) (*Buffer, error) {
+	if nominal <= 0 || real < 0 {
+		return nil, fmt.Errorf("gpu: malloc nominal=%d real=%d", nominal, real)
+	}
+	d.mu.Lock()
+	if d.usedBytes+nominal > d.Profile.MemBytes {
+		free := d.Profile.MemBytes - d.usedBytes
+		d.mu.Unlock()
+		return nil, fmt.Errorf("gpu%d: out of device memory: need %d, free %d", d.ID, nominal, free)
+	}
+	d.usedBytes += nominal
+	d.nextBuf++
+	id := d.nextBuf
+	d.mu.Unlock()
+	d.clock.Sleep(MallocOverhead)
+	return &Buffer{dev: d, id: id, nominal: nominal, data: make([]byte, real)}, nil
+}
+
+// Free releases the buffer. Double frees panic.
+func (d *Device) Free(b *Buffer) {
+	if b.dev != d {
+		panic("gpu: Free on wrong device")
+	}
+	if b.freed {
+		panic("gpu: double free of device buffer")
+	}
+	b.freed = true
+	d.mu.Lock()
+	d.usedBytes -= b.nominal
+	d.mu.Unlock()
+	b.data = nil
+}
+
+// UsedBytes reports allocated nominal device memory.
+func (d *Device) UsedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.usedBytes
+}
+
+// FreeBytes reports remaining nominal device memory.
+func (d *Device) FreeBytes() int64 {
+	return d.Profile.MemBytes - d.UsedBytes()
+}
+
+// MemcpyH2D synchronously copies src's logical bytes into dst,
+// charging nominal bytes of PCIe time on the H2D engine. Unpinned
+// buffers pay an extra host staging copy, as the real CUDA driver does.
+func (d *Device) MemcpyH2D(dst *Buffer, src *membuf.HBuffer, nominal int64, cpu costmodel.CPU) {
+	if !src.Pinned() {
+		d.clock.Sleep(cpu.HeapCopy(nominal))
+	}
+	d.h2d.Acquire(1)
+	d.clock.Sleep(d.pcie.TransferTime(nominal))
+	d.h2d.Release(1)
+	copy(dst.data, src.Bytes())
+	d.count(&d.h2dCopies, &d.h2dBytes, nominal)
+}
+
+// MemcpyD2H synchronously copies src device bytes back into dst.
+func (d *Device) MemcpyD2H(dst *membuf.HBuffer, src *Buffer, nominal int64, cpu costmodel.CPU) {
+	d.d2h.Acquire(1)
+	d.clock.Sleep(d.pcie.TransferTime(nominal))
+	d.d2h.Release(1)
+	if !dst.Pinned() {
+		d.clock.Sleep(cpu.HeapCopy(nominal))
+	}
+	copy(dst.Bytes(), src.data)
+	d.count(&d.d2hCopies, &d.d2hBytes, nominal)
+}
+
+func (d *Device) count(ops, bytes *int64, n int64) {
+	d.mu.Lock()
+	*ops++
+	*bytes += n
+	d.mu.Unlock()
+}
+
+// KernelCtx is what a kernel invocation sees: device buffers, launch
+// geometry, scalar arguments, and the element counts. Kernels must call
+// Charge to report their resource demand; the device converts it to
+// virtual time through the roofline model.
+type KernelCtx struct {
+	// In and Out are the device buffers bound to the launch.
+	In  []*Buffer
+	Out []*Buffer
+	// N is the real element count to compute on; Nominal is the
+	// paper-scale element count used for cost accounting.
+	N       int
+	Nominal int64
+	// GridSize and BlockSize mirror the CUDA launch configuration.
+	GridSize, BlockSize int
+	// Args carries scalar kernel arguments.
+	Args []int64
+
+	work     costmodel.Work
+	coalesce float64
+}
+
+// Charge accumulates resource demand (totals at nominal scale).
+func (k *KernelCtx) Charge(w costmodel.Work) { k.work = k.work.Add(w) }
+
+// SetCoalesce declares the global-memory coalescing factor the kernel's
+// access pattern achieves (see costmodel.CoalesceFactor).
+func (k *KernelCtx) SetCoalesce(f float64) { k.coalesce = f }
+
+// Func is a device kernel: it computes for real over ctx's buffers and
+// reports cost via Charge.
+type Func func(ctx *KernelCtx) error
+
+// registry maps kernel names (the paper's ptx entry names) to
+// implementations.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Func)
+)
+
+// Register installs a kernel under name, replacing any previous
+// registration (mirrors loading a ptx module).
+func Register(name string, fn Func) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = fn
+}
+
+// Lookup resolves a kernel by name.
+func Lookup(name string) (Func, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	fn, ok := registry[name]
+	return fn, ok
+}
+
+// RegisteredKernels lists kernel names, sorted (for docs and tests).
+func RegisteredKernels() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Launch executes the named kernel synchronously on the calling
+// process: it waits for the device's compute engine, really runs the
+// kernel function, and charges the reported cost. It returns the
+// virtual duration of the kernel (excluding queueing).
+func (d *Device) Launch(name string, ctx *KernelCtx) (time.Duration, error) {
+	fn, ok := Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("gpu: kernel %q not registered", name)
+	}
+	d.compute.Acquire(1)
+	defer d.compute.Release(1)
+	if err := fn(ctx); err != nil {
+		return 0, fmt.Errorf("gpu: kernel %q: %w", name, err)
+	}
+	coalesce := ctx.coalesce
+	if coalesce == 0 {
+		coalesce = 1
+	}
+	dur := d.Profile.KernelTime(ctx.work, coalesce)
+	d.clock.Sleep(dur)
+	d.mu.Lock()
+	d.kernels++
+	d.mu.Unlock()
+	return dur, nil
+}
+
+// Stats is a snapshot of device activity counters.
+type Stats struct {
+	Kernels              int64
+	H2DCopies, D2HCopies int64
+	H2DBytes, D2HBytes   int64
+}
+
+// Stats returns the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Kernels:   d.kernels,
+		H2DCopies: d.h2dCopies,
+		D2HCopies: d.d2hCopies,
+		H2DBytes:  d.h2dBytes,
+		D2HBytes:  d.d2hBytes,
+	}
+}
+
+// Close shuts down every stream created on the device. After Close the
+// device accepts no stream operations; it must be called before the
+// simulation ends so stream executor processes terminate.
+func (d *Device) Close() {
+	d.mu.Lock()
+	streams := d.streams
+	d.streams = nil
+	d.closed = true
+	d.mu.Unlock()
+	for _, s := range streams {
+		s.close()
+	}
+}

@@ -1,0 +1,354 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/membuf"
+	"gflink/internal/vclock"
+)
+
+func testRig() (*vclock.Clock, *Device, *membuf.Pool) {
+	c := vclock.New()
+	d := NewDevice(c, 0, 0, costmodel.C2050, costmodel.DefaultPCIe)
+	p := membuf.NewPool(c, costmodel.Default(), membuf.Config{PageSize: 4096})
+	return c, d, p
+}
+
+func init() {
+	Register("test.double", func(ctx *KernelCtx) error {
+		in, out := ctx.In[0].Bytes(), ctx.Out[0].Bytes()
+		for i := 0; i < ctx.N; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(in[i*4:]))
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v*2))
+		}
+		ctx.Charge(costmodel.Work{Flops: float64(ctx.Nominal), BytesRead: 4 * float64(ctx.Nominal), BytesWritten: 4 * float64(ctx.Nominal)})
+		return nil
+	})
+}
+
+func TestMallocFreeAccounting(t *testing.T) {
+	c, d, _ := testRig()
+	c.Run(func() {
+		b, err := d.Malloc(1<<20, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.UsedBytes() != 1<<20 || len(b.Bytes()) != 1024 {
+			t.Errorf("used=%d real=%d", d.UsedBytes(), len(b.Bytes()))
+		}
+		d.Free(b)
+		if d.UsedBytes() != 0 {
+			t.Errorf("used after free = %d", d.UsedBytes())
+		}
+	})
+}
+
+func TestMallocOOM(t *testing.T) {
+	c, d, _ := testRig()
+	c.Run(func() {
+		if _, err := d.Malloc(d.Profile.MemBytes+1, 0); err == nil {
+			t.Error("over-capacity malloc succeeded")
+		}
+		b, err := d.Malloc(d.Profile.MemBytes, 0)
+		if err != nil {
+			t.Fatalf("exact-capacity malloc failed: %v", err)
+		}
+		if _, err := d.Malloc(1, 0); err == nil {
+			t.Error("malloc on full device succeeded")
+		}
+		d.Free(b)
+	})
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(error).Error(), "double free") {
+			t.Errorf("want double-free panic, got %v", r)
+		}
+	}()
+	c, d, _ := testRig()
+	c.Run(func() {
+		b, _ := d.Malloc(100, 0)
+		d.Free(b)
+		d.Free(b)
+	})
+}
+
+func TestSyncCopyMovesBytesAndChargesTime(t *testing.T) {
+	c, d, p := testRig()
+	cpu := costmodel.DefaultCPU
+	var elapsed time.Duration
+	c.Run(func() {
+		h := p.MustAllocate(8)
+		copy(h.Bytes(), []byte("gpudata!"))
+		h.Pin()
+		buf, _ := d.Malloc(1<<20, 8)
+		start := c.Now()
+		d.MemcpyH2D(buf, h, 1<<20, cpu)
+		elapsed = c.Now() - start
+		if string(buf.Bytes()) != "gpudata!" {
+			t.Errorf("device bytes = %q", buf.Bytes())
+		}
+		out := p.MustAllocate(8)
+		out.Pin()
+		d.MemcpyD2H(out, buf, 1<<20, cpu)
+		if string(out.Bytes()) != "gpudata!" {
+			t.Errorf("host bytes = %q", out.Bytes())
+		}
+	})
+	if want := costmodel.DefaultPCIe.TransferTime(1 << 20); elapsed != want {
+		t.Errorf("H2D took %v, want %v", elapsed, want)
+	}
+}
+
+func TestUnpinnedSyncCopyPaysStaging(t *testing.T) {
+	c, d, p := testRig()
+	cpu := costmodel.DefaultCPU
+	var pinned, unpinned time.Duration
+	c.Run(func() {
+		buf, _ := d.Malloc(1<<20, 0)
+		hp := p.MustAllocate(8)
+		hp.Pin()
+		t0 := c.Now()
+		d.MemcpyH2D(buf, hp, 1<<20, cpu)
+		pinned = c.Now() - t0
+		hu := p.MustAllocate(8)
+		t1 := c.Now()
+		d.MemcpyH2D(buf, hu, 1<<20, cpu)
+		unpinned = c.Now() - t1
+	})
+	if unpinned <= pinned {
+		t.Errorf("unpinned copy (%v) not slower than pinned (%v)", unpinned, pinned)
+	}
+	if unpinned-pinned != cpu.HeapCopy(1<<20) {
+		t.Errorf("staging surcharge = %v, want %v", unpinned-pinned, cpu.HeapCopy(1<<20))
+	}
+}
+
+func TestLaunchComputesAndCharges(t *testing.T) {
+	c, d, _ := testRig()
+	c.Run(func() {
+		in, _ := d.Malloc(1024, 16)
+		out, _ := d.Malloc(1024, 16)
+		for i := 0; i < 4; i++ {
+			binary.LittleEndian.PutUint32(in.Bytes()[i*4:], math.Float32bits(float32(i+1)))
+		}
+		ctx := &KernelCtx{In: []*Buffer{in}, Out: []*Buffer{out}, N: 4, Nominal: 1 << 20}
+		start := c.Now()
+		dur, err := d.Launch("test.double", ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Now() - start; got != dur {
+			t.Errorf("wall %v != reported %v", got, dur)
+		}
+		want := d.Profile.KernelTime(costmodel.Work{Flops: 1 << 20, BytesRead: 4 << 20, BytesWritten: 4 << 20}, 1)
+		if dur != want {
+			t.Errorf("kernel time %v, want %v", dur, want)
+		}
+		for i := 0; i < 4; i++ {
+			got := math.Float32frombits(binary.LittleEndian.Uint32(out.Bytes()[i*4:]))
+			if got != float32(i+1)*2 {
+				t.Errorf("out[%d] = %v", i, got)
+			}
+		}
+	})
+	if d.Stats().Kernels != 1 {
+		t.Errorf("kernel count = %d", d.Stats().Kernels)
+	}
+}
+
+func TestLaunchUnknownKernel(t *testing.T) {
+	c, d, _ := testRig()
+	c.Run(func() {
+		if _, err := d.Launch("nope", &KernelCtx{}); err == nil {
+			t.Error("unknown kernel launched")
+		}
+	})
+}
+
+func TestKernelsSerializeOnComputeEngine(t *testing.T) {
+	c, d, _ := testRig()
+	end := c.Run(func() {
+		g := vclock.NewGroup(c)
+		for i := 0; i < 3; i++ {
+			g.Go("launcher", func() {
+				ctx := &KernelCtx{N: 0, Nominal: 1}
+				ctx.Charge(costmodel.Work{Flops: d.Profile.SPGFLOPS * 1e9 * d.Profile.Efficiency}) // exactly 1s
+				if _, err := d.Launch("test.noop", ctx); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		g.Wait()
+	})
+	want := 3 * (time.Second + d.Profile.LaunchOverhead)
+	if end != want {
+		t.Errorf("3 serialized kernels took %v, want %v", end, want)
+	}
+}
+
+func init() {
+	Register("test.noop", func(ctx *KernelCtx) error { return nil })
+}
+
+func TestStreamOrderingAndOverlap(t *testing.T) {
+	c := vclock.New()
+	// Two copy engines so H2D and D2H overlap.
+	d := NewDevice(c, 0, 0, costmodel.K20, costmodel.DefaultPCIe)
+	p := membuf.NewPool(c, costmodel.Default(), membuf.Config{PageSize: 4096})
+	cpu := costmodel.DefaultCPU
+	var elapsed time.Duration
+	c.Run(func() {
+		defer d.Close()
+		s1 := d.NewStream(cpu)
+		s2 := d.NewStream(cpu)
+		h1 := p.MustAllocate(4)
+		h2 := p.MustAllocate(4)
+		h1.Pin()
+		h2.Pin()
+		b1, _ := d.Malloc(100<<20, 4)
+		b2, _ := d.Malloc(100<<20, 4)
+		t0 := c.Now()
+		// Opposite directions on different streams: with 2 copy engines
+		// these overlap.
+		s1.H2DAsync(b1, h1, 100<<20)
+		s2.D2HAsync(h2, b2, 100<<20)
+		s1.Synchronize()
+		s2.Synchronize()
+		elapsed = c.Now() - t0
+	})
+	if want := costmodel.DefaultPCIe.TransferTime(100 << 20); elapsed != want {
+		t.Errorf("full-duplex streams took %v, want %v", elapsed, want)
+	}
+}
+
+func TestHalfDuplexSerializesDirections(t *testing.T) {
+	c := vclock.New()
+	d := NewDevice(c, 0, 0, costmodel.C2050, costmodel.DefaultPCIe) // 1 copy engine
+	p := membuf.NewPool(c, costmodel.Default(), membuf.Config{PageSize: 4096})
+	cpu := costmodel.DefaultCPU
+	var elapsed time.Duration
+	c.Run(func() {
+		defer d.Close()
+		s1 := d.NewStream(cpu)
+		s2 := d.NewStream(cpu)
+		h1 := p.MustAllocate(4)
+		h2 := p.MustAllocate(4)
+		h1.Pin()
+		h2.Pin()
+		b1, _ := d.Malloc(100<<20, 4)
+		b2, _ := d.Malloc(100<<20, 4)
+		t0 := c.Now()
+		s1.H2DAsync(b1, h1, 100<<20)
+		s2.D2HAsync(h2, b2, 100<<20)
+		s1.Synchronize()
+		s2.Synchronize()
+		elapsed = c.Now() - t0
+	})
+	if want := 2 * costmodel.DefaultPCIe.TransferTime(100<<20); elapsed != want {
+		t.Errorf("half-duplex streams took %v, want %v", elapsed, want)
+	}
+}
+
+func TestAsyncCopyRequiresPinnedBuffer(t *testing.T) {
+	c, d, p := testRig()
+	defer func() {
+		if recover() == nil {
+			t.Error("H2DAsync with unpinned buffer did not panic")
+		}
+	}()
+	c.Run(func() {
+		defer d.Close()
+		s := d.NewStream(costmodel.DefaultCPU)
+		h := p.MustAllocate(4)
+		b, _ := d.Malloc(100, 4)
+		s.H2DAsync(b, h, 100)
+	})
+}
+
+func TestThreeStagePipelineOverlaps(t *testing.T) {
+	// The heart of Section 5: with multiple streams, H2D(i+1) overlaps
+	// K(i); total time approaches max-stage-sum rather than sum of all
+	// stages.
+	c := vclock.New()
+	d := NewDevice(c, 0, 0, costmodel.K20, costmodel.DefaultPCIe)
+	p := membuf.NewPool(c, costmodel.Default(), membuf.Config{PageSize: 4096})
+	cpu := costmodel.DefaultCPU
+
+	Register("test.sleepy", func(ctx *KernelCtx) error {
+		ctx.Charge(costmodel.Work{Flops: d.Profile.SPGFLOPS * 1e9 * d.Profile.Efficiency * 0.1}) // 100ms
+		return nil
+	})
+	const blocks = 8
+	nominal := int64(250 << 20) // ~87ms transfer each way at 3 GB/s
+
+	pipelined := c.Run(func() {
+		defer d.Close()
+		streams := []*Stream{d.NewStream(cpu), d.NewStream(cpu), d.NewStream(cpu)}
+		futs := make([]*Future, 0, blocks)
+		for i := 0; i < blocks; i++ {
+			s := streams[i%len(streams)]
+			h := p.MustAllocate(8)
+			h.Pin()
+			in, err := d.Malloc(nominal, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := d.Malloc(nominal, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.H2DAsync(in, h, nominal)
+			futs = append(futs, s.LaunchAsync("test.sleepy", &KernelCtx{In: []*Buffer{in}, Out: []*Buffer{out}, Nominal: 1}))
+			s.D2HAsync(h, out, nominal)
+		}
+		for _, s := range streams {
+			s.Synchronize()
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+
+	// Serial reference: every stage strictly in order on one stream.
+	c2 := vclock.New()
+	d2 := NewDevice(c2, 0, 0, costmodel.K20, costmodel.DefaultPCIe)
+	p2 := membuf.NewPool(c2, costmodel.Default(), membuf.Config{PageSize: 4096})
+	serial := c2.Run(func() {
+		defer d2.Close()
+		s := d2.NewStream(cpu)
+		for i := 0; i < blocks; i++ {
+			h := p2.MustAllocate(8)
+			h.Pin()
+			in, _ := d2.Malloc(nominal, 8)
+			out, _ := d2.Malloc(nominal, 8)
+			s.H2DAsync(in, h, nominal)
+			s.LaunchAsync("test.sleepy", &KernelCtx{In: []*Buffer{in}, Out: []*Buffer{out}, Nominal: 1})
+			s.D2HAsync(h, out, nominal)
+			s.Synchronize()
+		}
+	})
+	if float64(pipelined) > 0.55*float64(serial) {
+		t.Errorf("pipelining gained too little: pipelined %v vs serial %v", pipelined, serial)
+	}
+}
+
+func TestRegisteredKernelsSorted(t *testing.T) {
+	names := RegisteredKernels()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("kernel list not sorted/unique: %v", names)
+		}
+	}
+	if _, ok := Lookup("test.double"); !ok {
+		t.Error("test.double not found")
+	}
+}

@@ -1,0 +1,133 @@
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/membuf"
+	"gflink/internal/vclock"
+)
+
+// Stream is a CUDA stream: a FIFO command queue executed by its own
+// virtual-time process. Commands within one stream run in order;
+// commands on different streams overlap, which is what the three-stage
+// H2D / kernel / D2H pipeline exploits (Section 5).
+type Stream struct {
+	dev  *Device
+	id   int
+	cpu  costmodel.CPU
+	q    *vclock.Queue[func()]
+	done *vclock.Event
+}
+
+// NewStream creates a stream and starts its executor process. Streams
+// must be closed via Device.Close (or Stream.close) before the
+// simulation ends.
+func (d *Device) NewStream(cpu costmodel.CPU) *Stream {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		panic("gpu: NewStream on closed device")
+	}
+	s := &Stream{
+		dev:  d,
+		id:   len(d.streams),
+		cpu:  cpu,
+		q:    vclock.NewQueue[func()](d.clock),
+		done: vclock.NewEvent(d.clock),
+	}
+	d.streams = append(d.streams, s)
+	d.mu.Unlock()
+	d.clock.Go(fmt.Sprintf("gpu%d-stream%d", d.ID, s.id), s.run)
+	return s
+}
+
+func (s *Stream) run() {
+	defer s.done.Set()
+	for {
+		op, ok := s.q.Get()
+		if !ok {
+			return
+		}
+		op()
+	}
+}
+
+func (s *Stream) close() {
+	s.q.Close()
+	s.done.Wait()
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// H2DAsync enqueues an asynchronous host-to-device copy. As with
+// cudaMemcpyH2DAsync, the host buffer must be page-locked; enqueuing an
+// unpinned buffer panics, surfacing the programming error the paper's
+// cudaHostRegister step exists to prevent.
+func (s *Stream) H2DAsync(dst *Buffer, src *membuf.HBuffer, nominal int64) {
+	if !src.Pinned() {
+		panic("gpu: H2DAsync requires a page-locked host buffer")
+	}
+	s.q.Put(func() {
+		s.dev.h2d.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
+		s.dev.h2d.Release(1)
+		copy(dst.data, src.Bytes())
+		s.dev.count(&s.dev.h2dCopies, &s.dev.h2dBytes, nominal)
+	})
+}
+
+// D2HAsync enqueues an asynchronous device-to-host copy into a
+// page-locked buffer.
+func (s *Stream) D2HAsync(dst *membuf.HBuffer, src *Buffer, nominal int64) {
+	if !dst.Pinned() {
+		panic("gpu: D2HAsync requires a page-locked host buffer")
+	}
+	s.q.Put(func() {
+		s.dev.d2h.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
+		s.dev.d2h.Release(1)
+		copy(dst.Bytes(), src.data)
+		s.dev.count(&s.dev.d2hCopies, &s.dev.d2hBytes, nominal)
+	})
+}
+
+// LaunchAsync enqueues a kernel launch. Errors surface through the
+// returned future.
+func (s *Stream) LaunchAsync(name string, ctx *KernelCtx) *Future {
+	f := &Future{ev: vclock.NewEvent(s.dev.clock)}
+	s.q.Put(func() {
+		f.dur, f.err = s.dev.Launch(name, ctx)
+		f.ev.Set()
+	})
+	return f
+}
+
+// Callback enqueues fn to run in stream order (cudaStreamAddCallback).
+func (s *Stream) Callback(fn func()) {
+	s.q.Put(fn)
+}
+
+// Synchronize blocks the calling process until every previously
+// enqueued command has completed (cudaStreamSynchronize).
+func (s *Stream) Synchronize() {
+	ev := vclock.NewEvent(s.dev.clock)
+	s.q.Put(ev.Set)
+	ev.Wait()
+}
+
+// Future is the completion handle of an asynchronous launch.
+type Future struct {
+	ev  *vclock.Event
+	dur time.Duration
+	err error
+}
+
+// Wait blocks until the launch completes and returns its kernel
+// duration and error.
+func (f *Future) Wait() (time.Duration, error) {
+	f.ev.Wait()
+	return f.dur, f.err
+}

@@ -1,0 +1,49 @@
+// Package kernels implements the device kernels the GFlink benchmarks
+// register (the paper's CUDA kernels, compiled to ptx and invoked by
+// executeName) together with the shared math their CPU reference
+// implementations use.
+//
+// Every kernel really computes over the raw bytes of its device buffers
+// — results are bit-comparable with the CPU path — and reports its
+// resource demand at nominal scale through KernelCtx.Charge, which the
+// virtual GPU converts to time through the roofline model.
+//
+// Buffer encodings are little-endian and match the GStruct schemas
+// declared by the workloads; see each kernel's comment for its layout
+// contract.
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// f32 reads the i-th float32 of buf.
+func f32(buf []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+}
+
+// putF32 writes the i-th float32 of buf.
+func putF32(buf []byte, i int, v float32) {
+	binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+}
+
+// i32 reads the i-th int32 of buf.
+func i32(buf []byte, i int) int32 {
+	return int32(binary.LittleEndian.Uint32(buf[i*4:]))
+}
+
+// putI32 writes the i-th int32 of buf.
+func putI32(buf []byte, i int, v int32) {
+	binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+}
+
+// u32 reads the i-th uint32 of buf.
+func u32(buf []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(buf[i*4:])
+}
+
+// putU32 writes the i-th uint32 of buf.
+func putU32(buf []byte, i int, v uint32) {
+	binary.LittleEndian.PutUint32(buf[i*4:], v)
+}

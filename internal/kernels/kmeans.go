@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/gpu"
+	"gflink/internal/gstruct"
+)
+
+// KMeansAssignKernel assigns every point of a block to its nearest
+// centroid and accumulates per-centroid partial sums, fusing the assign
+// and partial-update steps of one KMeans iteration (the dominant
+// operation the paper offloads: "searching for the closest centers").
+//
+// Buffers:
+//
+//	In[0]  — points, SoA float32, d coordinates per point
+//	In[1]  — centroids, k*d float32
+//	Out[0] — partials, k*(d+1) float32: per-centroid coordinate sums
+//	         followed by the member count
+//	Args   — [k, d]
+const KMeansAssignKernel = "gflink.kmeansAssign"
+
+// PointSchema returns the GStruct for d-dimensional float32 points: d
+// scalar fields, so the SoA layout stores one contiguous column per
+// coordinate (the coalesced columnar format of Section 3.2) and the
+// kernel addresses coordinate j of point i at j*n+i.
+func PointSchema(d int) *gstruct.Schema {
+	fields := make([]gstruct.Field, d)
+	for j := range fields {
+		fields[j] = gstruct.Field{Name: fmt.Sprintf("c%d", j), Kind: gstruct.Float32}
+	}
+	return gstruct.MustNew(fmt.Sprintf("Point%d", d), 4, fields...)
+}
+
+// KMeansWork returns the per-point resource demand of one assign step.
+func KMeansWork(k, d int) costmodel.Work {
+	return costmodel.Work{
+		Flops:        float64(3*k*d + d), // distance terms + accumulate
+		BytesRead:    float64(4 * d),     // centroids live in shared memory
+		BytesWritten: 0,                  // partials are negligible per point
+	}
+}
+
+func init() {
+	gpu.Register(KMeansAssignKernel, func(ctx *gpu.KernelCtx) error {
+		if len(ctx.In) < 2 || len(ctx.Out) < 1 || len(ctx.Args) < 2 {
+			return fmt.Errorf("kmeansAssign: want 2 inputs, 1 output, 2 args")
+		}
+		k, d := int(ctx.Args[0]), int(ctx.Args[1])
+		points, cents, out := ctx.In[0].Bytes(), ctx.In[1].Bytes(), ctx.Out[0].Bytes()
+		for i := range out {
+			out[i] = 0
+		}
+		n := ctx.N
+		for i := 0; i < n; i++ {
+			best, bestDist := 0, float32(math.MaxFloat32)
+			for c := 0; c < k; c++ {
+				var dist float32
+				for j := 0; j < d; j++ {
+					// SoA: coordinate j of point i is at column j, row i.
+					diff := f32(points, j*n+i) - f32(cents, c*d+j)
+					dist += diff * diff
+				}
+				if dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			for j := 0; j < d; j++ {
+				putF32(out, best*(d+1)+j, f32(out, best*(d+1)+j)+f32(points, j*n+i))
+			}
+			putF32(out, best*(d+1)+d, f32(out, best*(d+1)+d)+1)
+		}
+		ctx.Charge(KMeansWork(k, d).Scale(float64(ctx.Nominal)))
+		return nil
+	})
+}
+
+// CPUKMeansAssign is the reference per-partition implementation: it
+// returns the k*(d+1) partial sums for the given points (row-major
+// [][]float32) and flat centroids.
+func CPUKMeansAssign(points [][]float32, cents []float32, k, d int) []float32 {
+	out := make([]float32, k*(d+1))
+	for _, p := range points {
+		best, bestDist := 0, float32(math.MaxFloat32)
+		for c := 0; c < k; c++ {
+			var dist float32
+			for j := 0; j < d; j++ {
+				diff := p[j] - cents[c*d+j]
+				dist += diff * diff
+			}
+			if dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		for j := 0; j < d; j++ {
+			out[best*(d+1)+j] += p[j]
+		}
+		out[best*(d+1)+d]++
+	}
+	return out
+}
+
+// UpdateCentroids folds partial sums into new centroids; empty clusters
+// keep their previous position.
+func UpdateCentroids(partials []float32, prev []float32, k, d int) []float32 {
+	next := make([]float32, k*d)
+	for c := 0; c < k; c++ {
+		count := partials[c*(d+1)+d]
+		for j := 0; j < d; j++ {
+			if count > 0 {
+				next[c*d+j] = partials[c*(d+1)+j] / count
+			} else {
+				next[c*d+j] = prev[c*d+j]
+			}
+		}
+	}
+	return next
+}
+
+// MergePartials sums per-block or per-partition partials element-wise.
+func MergePartials(dst, src []float32) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}

@@ -1,0 +1,57 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/gpu"
+	"gflink/internal/gstruct"
+)
+
+// Point3Schema is the GStruct of the paper's Algorithm 3.1 example: a
+// three-component float point, GStruct_4 aligned.
+var Point3Schema = gstruct.MustNew("Point3", 4,
+	gstruct.Field{Name: "x", Kind: gstruct.Float32},
+	gstruct.Field{Name: "y", Kind: gstruct.Float32},
+	gstruct.Field{Name: "z", Kind: gstruct.Float32},
+)
+
+// PointAddKernel is the executeName of the cudaAddPoint kernel.
+const PointAddKernel = "gflink.pointAdd"
+
+// PointAddWork is the per-point resource demand of the kernel.
+var PointAddWork = costmodel.Work{Flops: 3, BytesRead: 12, BytesWritten: 12}
+
+func init() {
+	// gflink.pointAdd adds (dx, dy, dz) — float32s passed through Args
+	// as raw bits — to every Point3 of In[0], writing Out[0].
+	gpu.Register(PointAddKernel, func(ctx *gpu.KernelCtx) error {
+		if len(ctx.In) < 1 || len(ctx.Out) < 1 || len(ctx.Args) < 3 {
+			return fmt.Errorf("pointAdd: want 1 input, 1 output, 3 args")
+		}
+		in, out := ctx.In[0].Bytes(), ctx.Out[0].Bytes()
+		dx := f32bitsArg(ctx.Args[0])
+		dy := f32bitsArg(ctx.Args[1])
+		dz := f32bitsArg(ctx.Args[2])
+		for i := 0; i < ctx.N; i++ {
+			putF32(out, i*3+0, f32(in, i*3+0)+dx)
+			putF32(out, i*3+1, f32(in, i*3+1)+dy)
+			putF32(out, i*3+2, f32(in, i*3+2)+dz)
+		}
+		ctx.Charge(PointAddWork.Scale(float64(ctx.Nominal)))
+		return nil
+	})
+}
+
+// f32bitsArg decodes a float32 smuggled through an int64 kernel
+// argument.
+func f32bitsArg(a int64) float32 { return math.Float32frombits(uint32(uint64(a))) }
+
+// F32Arg encodes a float32 for kernel Args.
+func F32Arg(v float32) int64 { return int64(math.Float32bits(v)) }
+
+// CPUPointAdd is the reference implementation for the baseline path.
+func CPUPointAdd(p [3]float32, d [3]float32) [3]float32 {
+	return [3]float32{p[0] + d[0], p[1] + d[1], p[2] + d[2]}
+}

@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/gpu"
+)
+
+// SpMVCSRKernel multiplies a CSR row-block by a dense vector, the
+// cuBLAS-backed operation of the paper's SpMV benchmark (Fig 6a, 7b).
+//
+// Buffers:
+//
+//	In[0]  — CSR block: int32 nrows, int32 nnz, int32 rowPtr[nrows+1],
+//	         int32 colIdx[nnz], float32 vals[nnz]
+//	In[1]  — x, float32[ncols]
+//	Out[0] — y, float32[nrows]
+//	Args   — [nominalNNZ, nominalRows] (cost accounting; the real block
+//	         carries scaled-down nnz). nominalRows falls back to
+//	         ctx.Nominal when absent.
+const SpMVCSRKernel = "gflink.spmvCsr"
+
+// SpMVWork returns the demand of multiplying nominalNNZ non-zeros with
+// nominalRows output rows.
+func SpMVWork(nominalNNZ, nominalRows int64) costmodel.Work {
+	return costmodel.Work{
+		Flops:        2 * float64(nominalNNZ),
+		BytesRead:    8*float64(nominalNNZ) + 4*float64(nominalRows),
+		BytesWritten: 4 * float64(nominalRows),
+	}
+}
+
+// CSRBlock is the decoded header view of an encoded CSR block.
+type CSRBlock struct {
+	Rows, NNZ int
+	rowPtrOff int // int32 index of rowPtr[0]
+	colOff    int
+	valOff    int
+	buf       []byte
+}
+
+// DecodeCSR parses the block header of an encoded CSR buffer.
+func DecodeCSR(buf []byte) (CSRBlock, error) {
+	if len(buf) < 8 {
+		return CSRBlock{}, fmt.Errorf("csr block too small: %d bytes", len(buf))
+	}
+	b := CSRBlock{
+		Rows: int(i32(buf, 0)),
+		NNZ:  int(i32(buf, 1)),
+		buf:  buf,
+	}
+	b.rowPtrOff = 2
+	b.colOff = b.rowPtrOff + b.Rows + 1
+	b.valOff = b.colOff + b.NNZ
+	need := (b.valOff + b.NNZ) * 4
+	if len(buf) < need {
+		return CSRBlock{}, fmt.Errorf("csr block truncated: %d < %d bytes", len(buf), need)
+	}
+	return b, nil
+}
+
+// EncodedCSRSize returns the byte size of an encoded CSR block.
+func EncodedCSRSize(rows, nnz int) int { return (2 + rows + 1 + nnz + nnz) * 4 }
+
+// EncodeCSR packs a CSR matrix block into buf (which must be at least
+// EncodedCSRSize bytes).
+func EncodeCSR(buf []byte, rowPtr []int32, colIdx []int32, vals []float32) {
+	rows := len(rowPtr) - 1
+	nnz := len(colIdx)
+	putI32(buf, 0, int32(rows))
+	putI32(buf, 1, int32(nnz))
+	for i, v := range rowPtr {
+		putI32(buf, 2+i, v)
+	}
+	for i, v := range colIdx {
+		putI32(buf, 2+rows+1+i, v)
+	}
+	for i, v := range vals {
+		putF32(buf, 2+rows+1+nnz+i, v)
+	}
+}
+
+// RowPtr returns rowPtr[i].
+func (b CSRBlock) RowPtr(i int) int32 { return i32(b.buf, b.rowPtrOff+i) }
+
+// Col returns colIdx[i].
+func (b CSRBlock) Col(i int) int32 { return i32(b.buf, b.colOff+i) }
+
+// Val returns vals[i].
+func (b CSRBlock) Val(i int) float32 { return f32(b.buf, b.valOff+i) }
+
+func init() {
+	gpu.Register(SpMVCSRKernel, func(ctx *gpu.KernelCtx) error {
+		if len(ctx.In) < 2 || len(ctx.Out) < 1 || len(ctx.Args) < 1 {
+			return fmt.Errorf("spmvCsr: want 2 inputs, 1 output, 1 arg")
+		}
+		blk, err := DecodeCSR(ctx.In[0].Bytes())
+		if err != nil {
+			return err
+		}
+		x, y := ctx.In[1].Bytes(), ctx.Out[0].Bytes()
+		for r := 0; r < blk.Rows; r++ {
+			var sum float32
+			for i := blk.RowPtr(r); i < blk.RowPtr(r+1); i++ {
+				sum += blk.Val(int(i)) * f32(x, int(blk.Col(int(i))))
+			}
+			putF32(y, r, sum)
+		}
+		nomRows := ctx.Nominal
+		if len(ctx.Args) > 1 {
+			nomRows = ctx.Args[1]
+		}
+		ctx.Charge(SpMVWork(ctx.Args[0], nomRows))
+		return nil
+	})
+}
+
+// CPUSpMV is the reference row-block multiply.
+func CPUSpMV(rowPtr []int32, colIdx []int32, vals []float32, x []float32) []float32 {
+	rows := len(rowPtr) - 1
+	y := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		var sum float32
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			sum += vals[i] * x[colIdx[i]]
+		}
+		y[r] = sum
+	}
+	return y
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/gpu"
+)
+
+// WordCountKernel tokenizes a raw ASCII text block on whitespace,
+// hashes each word and accumulates counts into a dense vocabulary
+// table. Word identity is the FNV-1a hash modulo the table size; both
+// the kernel and the CPU reference use WordSlot so results compare
+// exactly.
+//
+// Buffers:
+//
+//	In[0]  — text bytes
+//	Out[0] — counts, uint32[table]
+//	Args   — [table]
+const WordCountKernel = "gflink.wordCount"
+
+// WordCountWork returns the demand of scanning nominalBytes of text.
+func WordCountWork(nominalBytes int64) costmodel.Work {
+	return costmodel.Work{Flops: 2 * float64(nominalBytes), BytesRead: float64(nominalBytes)}
+}
+
+// WordSlot maps a word to its counting slot via FNV-1a.
+func WordSlot(word []byte, table int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range word {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(table))
+}
+
+func init() {
+	gpu.Register(WordCountKernel, func(ctx *gpu.KernelCtx) error {
+		if len(ctx.In) < 1 || len(ctx.Out) < 1 || len(ctx.Args) < 1 {
+			return fmt.Errorf("wordCount: want 1 input, 1 output, 1 arg")
+		}
+		table := int(ctx.Args[0])
+		text, out := ctx.In[0].Bytes(), ctx.Out[0].Bytes()
+		// ctx.N is the real text length in bytes.
+		n := ctx.N
+		if n > len(text) {
+			n = len(text)
+		}
+		start := -1
+		for i := 0; i <= n; i++ {
+			isSpace := i == n || text[i] == ' ' || text[i] == '\n'
+			if isSpace {
+				if start >= 0 {
+					slot := WordSlot(text[start:i], table)
+					putU32(out, slot, u32(out, slot)+1)
+					start = -1
+				}
+			} else if start < 0 {
+				start = i
+			}
+		}
+		ctx.Charge(WordCountWork(ctx.Nominal))
+		return nil
+	})
+}
+
+// CPUWordCount is the reference tokenizer over the same hash table.
+func CPUWordCount(text []byte, table int) []uint32 {
+	out := make([]uint32, table)
+	start := -1
+	for i := 0; i <= len(text); i++ {
+		isSpace := i == len(text) || text[i] == ' ' || text[i] == '\n'
+		if isSpace {
+			if start >= 0 {
+				out[WordSlot(text[start:i], table)]++
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package membuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/vclock"
+)
+
+func newPool(cfg Config) (*vclock.Clock, *Pool) {
+	c := vclock.New()
+	return c, NewPool(c, costmodel.Default(), cfg)
+}
+
+func TestAllocateRoundsToPages(t *testing.T) {
+	c, p := newPool(Config{PageSize: 1024})
+	c.Run(func() {
+		b := p.MustAllocate(1)
+		if b.Pages() != 1 || len(b.Raw()) != 1024 || len(b.Bytes()) != 1 {
+			t.Errorf("1-byte alloc: pages=%d raw=%d bytes=%d", b.Pages(), len(b.Raw()), len(b.Bytes()))
+		}
+		b2 := p.MustAllocate(1025)
+		if b2.Pages() != 2 {
+			t.Errorf("1025-byte alloc used %d pages, want 2", b2.Pages())
+		}
+		b.Free()
+		b2.Free()
+	})
+	s := p.Stats()
+	if s.InUsePages != 0 || s.Allocs != 2 || s.Frees != 2 || s.PeakPages != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	c, p := newPool(Config{PageSize: 1024, CapacityPages: 2})
+	c.Run(func() {
+		b := p.MustAllocate(2048)
+		if _, err := p.Allocate(1); err == nil {
+			t.Error("allocation beyond capacity succeeded")
+		}
+		b.Free()
+		if _, err := p.Allocate(1); err != nil {
+			t.Errorf("allocation after free failed: %v", err)
+		}
+	})
+}
+
+func TestInvalidAllocate(t *testing.T) {
+	c, p := newPool(Config{})
+	c.Run(func() {
+		if _, err := p.Allocate(0); err == nil {
+			t.Error("zero-byte allocation succeeded")
+		}
+		if _, err := p.Allocate(-5); err == nil {
+			t.Error("negative allocation succeeded")
+		}
+	})
+}
+
+func TestPinChargesTimeAndTracksPages(t *testing.T) {
+	c, p := newPool(Config{PageSize: 1024})
+	m := costmodel.Default()
+	end := c.Run(func() {
+		b := p.MustAllocate(3 * 1024)
+		b.Pin()
+		if !b.Pinned() {
+			t.Error("not pinned after Pin")
+		}
+		if got := p.Stats().PinnedPages; got != 3 {
+			t.Errorf("pinned pages = %d, want 3", got)
+		}
+		b.Pin() // idempotent, no extra charge
+		b.Unpin()
+		if b.Pinned() || p.Stats().PinnedPages != 0 {
+			t.Error("unpin did not release")
+		}
+		b.Free()
+	})
+	if want := 3 * m.Overheads.PinPage; end != want {
+		t.Errorf("pin cost %v, want %v", end, want)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	c, p := newPool(Config{})
+	c.Run(func() {
+		b := p.MustAllocate(10)
+		b.Free()
+		b.Free()
+	})
+}
+
+func TestFreeUnpins(t *testing.T) {
+	c, p := newPool(Config{PageSize: 512})
+	c.Run(func() {
+		b := p.MustAllocate(512)
+		b.Pin()
+		b.Free()
+	})
+	if p.Stats().PinnedPages != 0 {
+		t.Error("Free left pages pinned")
+	}
+}
+
+func TestElemsPerPage(t *testing.T) {
+	if got := ElemsPerPage(32768, 24); got != 1365 {
+		t.Errorf("ElemsPerPage(32768,24) = %d, want 1365", got)
+	}
+	if ElemsPerPage(100, 0) != 0 || ElemsPerPage(100, -1) != 0 {
+		t.Error("non-positive stride must give 0")
+	}
+	if ElemsPerPage(10, 24) != 0 {
+		t.Error("oversized stride must give 0")
+	}
+}
+
+// Property: pool accounting balances — after freeing everything, in-use
+// is zero and peak equals the maximum simultaneous pages.
+func TestPoolAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 30 {
+			sizes = sizes[:30]
+		}
+		c, p := newPool(Config{PageSize: 256})
+		ok := true
+		c.Run(func() {
+			var bufs []*HBuffer
+			total := 0
+			peak := 0
+			for _, s := range sizes {
+				n := int(s%4096) + 1
+				b := p.MustAllocate(n)
+				bufs = append(bufs, b)
+				total += b.Pages()
+				if total > peak {
+					peak = total
+				}
+			}
+			st := p.Stats()
+			if st.InUsePages != total || st.PeakPages != peak {
+				ok = false
+			}
+			for _, b := range bufs {
+				b.Free()
+			}
+			if p.Stats().InUsePages != 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct live buffers never share an ID.
+func TestBufferIDUniqueness(t *testing.T) {
+	c, p := newPool(Config{})
+	c.Run(func() {
+		seen := map[int64]bool{}
+		for i := 0; i < 100; i++ {
+			b := p.MustAllocate(8)
+			if seen[b.ID()] {
+				t.Fatalf("duplicate buffer id %d", b.ID())
+			}
+			seen[b.ID()] = true
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/vclock"
+)
+
+func TestTransferDuration(t *testing.T) {
+	c := vclock.New()
+	m := costmodel.DefaultNet
+	var n *Network
+	end := c.Run(func() {
+		n = New(c, m, 4)
+		n.Transfer(0, 1, 125_000_000) // 1 Gbit at 1 Gbps = 1 s + latency
+	})
+	want := m.TransferTime(125_000_000)
+	if end != want {
+		t.Errorf("transfer took %v, want %v", end, want)
+	}
+	tr, by := n.Stats()
+	if tr != 1 || by != 125_000_000 {
+		t.Errorf("stats = %d transfers, %d bytes", tr, by)
+	}
+}
+
+func TestSameNodeTransferIsFree(t *testing.T) {
+	c := vclock.New()
+	end := c.Run(func() {
+		n := New(c, costmodel.DefaultNet, 2)
+		n.Transfer(1, 1, 1<<30)
+	})
+	if end != 0 {
+		t.Errorf("local transfer cost %v", end)
+	}
+}
+
+func TestUplinkContentionSerializes(t *testing.T) {
+	c := vclock.New()
+	m := costmodel.DefaultNet
+	end := c.Run(func() {
+		n := New(c, m, 3)
+		g := vclock.NewGroup(c)
+		// Two transfers from node 0 to different receivers share 0's
+		// uplink and must serialize.
+		g.Go("a", func() { n.Transfer(0, 1, 125_000_000) })
+		g.Go("b", func() { n.Transfer(0, 2, 125_000_000) })
+		g.Wait()
+	})
+	if want := 2 * m.TransferTime(125_000_000); end != want {
+		t.Errorf("contended makespan %v, want %v", end, want)
+	}
+}
+
+func TestDisjointPairsRunInParallel(t *testing.T) {
+	c := vclock.New()
+	m := costmodel.DefaultNet
+	end := c.Run(func() {
+		n := New(c, m, 4)
+		g := vclock.NewGroup(c)
+		g.Go("a", func() { n.Transfer(0, 1, 125_000_000) })
+		g.Go("b", func() { n.Transfer(2, 3, 125_000_000) })
+		g.Wait()
+	})
+	if want := m.TransferTime(125_000_000); end != want {
+		t.Errorf("parallel makespan %v, want %v", end, want)
+	}
+}
+
+func TestOpposingTransfersFullDuplex(t *testing.T) {
+	c := vclock.New()
+	m := costmodel.DefaultNet
+	end := c.Run(func() {
+		n := New(c, m, 2)
+		g := vclock.NewGroup(c)
+		g.Go("a", func() { n.Transfer(0, 1, 125_000_000) })
+		g.Go("b", func() { n.Transfer(1, 0, 125_000_000) })
+		g.Wait()
+	})
+	if want := m.TransferTime(125_000_000); end != want {
+		t.Errorf("full-duplex makespan %v, want %v (no overlap)", end, want)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	c := vclock.New()
+	end := c.Run(func() {
+		n := New(c, costmodel.DefaultNet, 2)
+		n.Transfer(0, 1, 0)
+		n.Transfer(0, 1, -7)
+	})
+	if end != time.Duration(0) {
+		t.Errorf("zero-byte transfer cost %v", end)
+	}
+}
+
+func TestBadNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node did not panic")
+		}
+	}()
+	c := vclock.New()
+	c.Run(func() {
+		n := New(c, costmodel.DefaultNet, 2)
+		n.Transfer(0, 5, 100)
+	})
+}

@@ -1,0 +1,325 @@
+package vclock
+
+import (
+	"time"
+)
+
+// waiter is a parked process waiting on a primitive. Wakeups close ch.
+type waiter struct {
+	ch  chan struct{}
+	n   int64 // semaphore units requested
+	seq uint64
+}
+
+// Queue is an unbounded FIFO channel between processes. Get blocks on an
+// empty queue; Put never blocks. A closed queue reports ok=false from Get
+// once drained. The zero value is not usable; use NewQueue.
+type Queue[T any] struct {
+	c       *Clock
+	items   []T
+	waiters []*waiter
+	closed  bool
+}
+
+// NewQueue returns an empty open queue bound to clock c.
+func NewQueue[T any](c *Clock) *Queue[T] {
+	return &Queue[T]{c: c}
+}
+
+// Put appends v and wakes one waiting Get, if any.
+func (q *Queue[T]) Put(v T) {
+	q.c.mu.Lock()
+	defer q.c.mu.Unlock()
+	if q.closed {
+		panic("vclock: Put on closed Queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOneLocked()
+}
+
+// Close marks the queue closed; blocked and future Gets observe ok=false
+// once the buffered items drain.
+func (q *Queue[T]) Close() {
+	q.c.mu.Lock()
+	defer q.c.mu.Unlock()
+	q.closed = true
+	for _, w := range q.waiters {
+		q.c.unblock("queue")
+		close(w.ch)
+	}
+	q.waiters = nil
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// open and empty. ok is false if the queue is closed and drained.
+func (q *Queue[T]) Get() (v T, ok bool) {
+	for {
+		q.c.mu.Lock()
+		if len(q.items) > 0 {
+			v = q.items[0]
+			// Avoid retaining the popped element.
+			var zero T
+			q.items[0] = zero
+			q.items = q.items[1:]
+			q.c.mu.Unlock()
+			return v, true
+		}
+		if q.closed {
+			q.c.mu.Unlock()
+			return v, false
+		}
+		w := &waiter{ch: make(chan struct{})}
+		q.waiters = append(q.waiters, w)
+		q.c.block("queue")
+		q.c.mu.Unlock()
+		<-w.ch
+	}
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	q.c.mu.Lock()
+	defer q.c.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int {
+	q.c.mu.Lock()
+	defer q.c.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *Queue[T]) wakeOneLocked() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	w := q.waiters[0]
+	q.waiters[0] = nil
+	q.waiters = q.waiters[1:]
+	q.c.unblock("queue")
+	close(w.ch)
+}
+
+// Semaphore is a counting semaphore used to model contended hardware
+// resources (CPU cores, DMA engines, device compute). Acquire order is
+// FIFO, which keeps simulations deterministic.
+type Semaphore struct {
+	c       *Clock
+	name    string
+	free    int64
+	cap     int64
+	waiters []*waiter
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(c *Clock, name string, capacity int64) *Semaphore {
+	if capacity <= 0 {
+		panic("vclock: semaphore capacity must be positive")
+	}
+	return &Semaphore{c: c, name: name, free: capacity, cap: capacity}
+}
+
+// Acquire blocks until n units are available and takes them. n greater
+// than the capacity panics (it could never succeed).
+func (s *Semaphore) Acquire(n int64) {
+	if n > s.cap {
+		panic("vclock: semaphore acquire exceeds capacity: " + s.name)
+	}
+	s.c.mu.Lock()
+	// FIFO: only take fast path if nobody is already queued.
+	if len(s.waiters) == 0 && s.free >= n {
+		s.free -= n
+		s.c.mu.Unlock()
+		return
+	}
+	w := &waiter{ch: make(chan struct{}), n: n}
+	s.waiters = append(s.waiters, w)
+	s.c.block("sem:" + s.name)
+	s.c.mu.Unlock()
+	<-w.ch
+}
+
+// Release returns n units and wakes as many queued acquirers as now fit,
+// in FIFO order.
+func (s *Semaphore) Release(n int64) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.free += n
+	if s.free > s.cap {
+		panic("vclock: semaphore over-release: " + s.name)
+	}
+	for len(s.waiters) > 0 && s.waiters[0].n <= s.free {
+		w := s.waiters[0]
+		s.waiters[0] = nil
+		s.waiters = s.waiters[1:]
+		s.free -= w.n
+		s.c.unblock("sem:" + s.name)
+		close(w.ch)
+	}
+}
+
+// Free reports the available units (racy outside quiescence; intended
+// for scheduler heuristics and tests).
+func (s *Semaphore) Free() int64 {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.free
+}
+
+// Use runs fn while holding n units.
+func (s *Semaphore) Use(n int64, fn func()) {
+	s.Acquire(n)
+	defer s.Release(n)
+	fn()
+}
+
+// Event is a one-shot broadcast: Wait blocks until Set is called; after
+// Set, Wait returns immediately.
+type Event struct {
+	c       *Clock
+	set     bool
+	waiters []*waiter
+}
+
+// NewEvent returns an unset event.
+func NewEvent(c *Clock) *Event { return &Event{c: c} }
+
+// Set fires the event, waking all current and future waiters. Setting an
+// already-set event is a no-op.
+func (e *Event) Set() {
+	e.c.mu.Lock()
+	defer e.c.mu.Unlock()
+	if e.set {
+		return
+	}
+	e.set = true
+	for _, w := range e.waiters {
+		e.c.unblock("event")
+		close(w.ch)
+	}
+	e.waiters = nil
+}
+
+// Wait blocks until the event is set.
+func (e *Event) Wait() {
+	e.c.mu.Lock()
+	if e.set {
+		e.c.mu.Unlock()
+		return
+	}
+	w := &waiter{ch: make(chan struct{})}
+	e.waiters = append(e.waiters, w)
+	e.c.block("event")
+	e.c.mu.Unlock()
+	<-w.ch
+}
+
+// IsSet reports whether the event fired.
+func (e *Event) IsSet() bool {
+	e.c.mu.Lock()
+	defer e.c.mu.Unlock()
+	return e.set
+}
+
+// Group tracks a set of child processes and lets a parent wait for all
+// of them, mirroring sync.WaitGroup for virtual-time processes.
+type Group struct {
+	c     *Clock
+	n     int
+	done  *Event
+	ended bool
+}
+
+// NewGroup returns an empty group.
+func NewGroup(c *Clock) *Group {
+	return &Group{c: c, done: NewEvent(c)}
+}
+
+// Go spawns fn as a process tracked by the group.
+func (g *Group) Go(name string, fn func()) {
+	g.c.mu.Lock()
+	if g.ended {
+		g.c.mu.Unlock()
+		panic("vclock: Group.Go after Wait returned")
+	}
+	g.n++
+	g.c.mu.Unlock()
+	g.c.Go(name, func() {
+		defer func() {
+			g.c.mu.Lock()
+			g.n--
+			fire := g.n == 0
+			g.c.mu.Unlock()
+			if fire {
+				g.done.Set()
+			}
+		}()
+		fn()
+	})
+}
+
+// Wait blocks until every spawned process has finished. A group with no
+// processes returns immediately.
+func (g *Group) Wait() {
+	g.c.mu.Lock()
+	if g.n == 0 {
+		g.ended = true
+		g.c.mu.Unlock()
+		return
+	}
+	g.c.mu.Unlock()
+	g.done.Wait()
+	g.c.mu.Lock()
+	g.ended = true
+	g.c.mu.Unlock()
+}
+
+// AfterFunc schedules fn to run as a new process at now+d.
+func (c *Clock) AfterFunc(name string, d time.Duration, fn func()) {
+	c.Go(name, func() {
+		c.Sleep(d)
+		fn()
+	})
+}
+
+// Deadline is a cancellable timer used for timeouts (e.g., the work
+// stealing idle timeout). Elapsed reports whether d passed without
+// Cancel.
+type Deadline struct {
+	ev        *Event
+	cancelled bool
+	c         *Clock
+}
+
+// NewDeadline arms a deadline d in the future.
+func NewDeadline(c *Clock, d time.Duration) *Deadline {
+	dl := &Deadline{ev: NewEvent(c), c: c}
+	c.Go("deadline", func() {
+		c.Sleep(d)
+		c.mu.Lock()
+		cancelled := dl.cancelled
+		c.mu.Unlock()
+		if !cancelled {
+			dl.ev.Set()
+		}
+	})
+	return dl
+}
+
+// Cancel disarms the deadline if it has not fired.
+func (d *Deadline) Cancel() {
+	d.c.mu.Lock()
+	d.cancelled = true
+	d.c.mu.Unlock()
+}
+
+// Fired reports whether the deadline elapsed before cancellation.
+func (d *Deadline) Fired() bool { return d.ev.IsSet() }

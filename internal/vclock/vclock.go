@@ -1,0 +1,237 @@
+// Package vclock implements a deterministic virtual-time kernel for the
+// GFlink simulator.
+//
+// Every concurrent component of the simulated cluster (task slots, CUDA
+// streams, DMA engines, network transfers, disks) runs as an ordinary
+// goroutine registered with a Clock. Such a goroutine is called a
+// process. Processes may block only through the primitives provided by
+// this package (Sleep, Queue, Semaphore, Event, ...). The clock advances
+// to the earliest pending deadline exactly when every registered process
+// is blocked, which makes simulated schedules deterministic and
+// independent of host scheduling, GOMAXPROCS, or wall time.
+//
+// If every process is blocked and no timer is pending, the simulation
+// cannot make progress; the kernel panics with a diagnostic listing the
+// blocked processes, which turns would-be hangs into debuggable errors.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual-time scheduler. The zero value is not usable; use
+// New.
+type Clock struct {
+	mu      sync.Mutex
+	now     time.Duration
+	running int // registered processes not currently blocked
+	total   int // registered processes alive
+	timers  timerHeap
+	seq     uint64 // tie-break for identical deadlines; preserves FIFO order
+	started bool   // set by Run; no advancement/deadlock checks before it
+	done    chan struct{}
+	blocked map[string]int // reason -> count, for deadlock diagnostics
+	// panicked records a panic raised inside a process so Run can
+	// re-raise it on the caller's goroutine.
+	panicked any
+	hasPanic bool
+}
+
+// New returns a Clock positioned at virtual time zero.
+func New() *Clock {
+	return &Clock{
+		done:    make(chan struct{}),
+		blocked: make(map[string]int),
+	}
+}
+
+// Now reports the current virtual time as a duration since the start of
+// the simulation.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Go spawns fn as a new registered process. It may be called from any
+// goroutine, including non-process goroutines, before or during Run.
+func (c *Clock) Go(name string, fn func()) {
+	c.mu.Lock()
+	c.running++
+	c.total++
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.mu.Lock()
+				if !c.hasPanic {
+					c.hasPanic = true
+					c.panicked = fmt.Errorf("process %q panicked: %v", name, r)
+				}
+				c.mu.Unlock()
+			}
+			c.exit()
+		}()
+		fn()
+	}()
+}
+
+// Run executes root as the initial process and blocks until every
+// process has finished. It returns the final virtual time. Run may be
+// called once per Clock.
+//
+// Processes spawned before Run (e.g., stream executors created during
+// deployment construction) may block on primitives; the clock neither
+// advances nor declares deadlock until Run starts.
+func (c *Clock) Run(root func()) time.Duration {
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+	c.Go("root", root)
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hasPanic {
+		panic(c.panicked)
+	}
+	return c.now
+}
+
+// exit unregisters the calling process.
+func (c *Clock) exit() {
+	c.mu.Lock()
+	c.running--
+	c.total--
+	if c.total == 0 {
+		defer c.mu.Unlock()
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+		return
+	}
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// Sleep blocks the calling process for d of virtual time. Negative or
+// zero durations yield without advancing time... actually a zero sleep
+// still round-trips through the timer heap so that co-scheduled wakeups
+// at the same instant occur in FIFO order.
+func (c *Clock) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.seq++
+	heap.Push(&c.timers, &timer{deadline: c.now + d, seq: c.seq, ch: ch})
+	c.block("sleep")
+	c.mu.Unlock()
+	<-ch
+}
+
+// block marks the calling process blocked for the given reason and, if
+// that was the last runnable process, advances the clock. Callers must
+// hold c.mu.
+func (c *Clock) block(reason string) {
+	c.running--
+	c.blocked[reason]++
+	c.maybeAdvanceLocked()
+	// The caller records its own wake mechanism; unblocking happens in
+	// unblock via the primitive that wakes it.
+	// Decrement of the reason counter happens in unblock.
+	_ = reason
+}
+
+// unblock marks one process blocked for reason as runnable again.
+// Callers must hold c.mu.
+func (c *Clock) unblock(reason string) {
+	c.running++
+	c.blocked[reason]--
+	if c.blocked[reason] == 0 {
+		delete(c.blocked, reason)
+	}
+}
+
+// maybeAdvanceLocked fires due timers if no process is runnable. Callers
+// must hold c.mu.
+func (c *Clock) maybeAdvanceLocked() {
+	if !c.started || c.running > 0 || c.total == 0 {
+		return
+	}
+	if len(c.timers) == 0 {
+		// Either a process died by panic (simulation already compromised)
+		// or this is a genuine deadlock. Surface the error from Run on the
+		// caller's goroutine: panicking here would unwind with c.mu held
+		// and wedge the recover path. Parked processes are leaked; this is
+		// a diagnostic path that ends the simulation.
+		if !c.hasPanic {
+			c.hasPanic = true
+			c.panicked = fmt.Errorf("vclock: deadlock: all processes blocked with no pending timer\n%s", c.diagnosticLocked())
+		}
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+		return
+	}
+	// Fire every timer sharing the earliest deadline, in seq (FIFO)
+	// order.
+	first := c.timers[0]
+	c.now = first.deadline
+	for len(c.timers) > 0 && c.timers[0].deadline == c.now {
+		t := heap.Pop(&c.timers).(*timer)
+		c.unblock("sleep")
+		close(t.ch)
+	}
+}
+
+// diagnosticLocked renders the blocked-process census for deadlock
+// panics.
+func (c *Clock) diagnosticLocked() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  virtual time: %v\n  processes alive: %d\n  blocked on:\n", c.now, c.total)
+	reasons := make([]string, 0, len(c.blocked))
+	for r := range c.blocked {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "    %-12s %d\n", r, c.blocked[r])
+	}
+	return b.String()
+}
+
+type timer struct {
+	deadline time.Duration
+	seq      uint64
+	ch       chan struct{}
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,468 @@
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesTime(t *testing.T) {
+	c := New()
+	var at time.Duration
+	end := c.Run(func() {
+		c.Sleep(3 * time.Second)
+		at = c.Now()
+	})
+	if at != 3*time.Second {
+		t.Errorf("Now after Sleep(3s) = %v, want 3s", at)
+	}
+	if end != 3*time.Second {
+		t.Errorf("Run returned %v, want 3s", end)
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	c := New()
+	c.Run(func() {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+		if c.Now() != 0 {
+			t.Errorf("time advanced to %v after zero/negative sleeps", c.Now())
+		}
+	})
+}
+
+func TestParallelSleepsOverlap(t *testing.T) {
+	c := New()
+	end := c.Run(func() {
+		g := NewGroup(c)
+		for i := 0; i < 10; i++ {
+			g.Go("sleeper", func() { c.Sleep(5 * time.Second) })
+		}
+		g.Wait()
+	})
+	if end != 5*time.Second {
+		t.Errorf("10 parallel 5s sleeps took %v, want 5s", end)
+	}
+}
+
+func TestSequentialSleepsAccumulate(t *testing.T) {
+	c := New()
+	end := c.Run(func() {
+		for i := 0; i < 4; i++ {
+			c.Sleep(250 * time.Millisecond)
+		}
+	})
+	if end != time.Second {
+		t.Errorf("4 sequential 250ms sleeps took %v, want 1s", end)
+	}
+}
+
+func TestTimeMonotonicAcrossProcesses(t *testing.T) {
+	c := New()
+	var mu sync.Mutex
+	var seen []time.Duration
+	c.Run(func() {
+		g := NewGroup(c)
+		for i := 0; i < 8; i++ {
+			d := time.Duration(i) * 100 * time.Millisecond
+			g.Go("p", func() {
+				c.Sleep(d)
+				mu.Lock()
+				seen = append(seen, c.Now())
+				mu.Unlock()
+			})
+		}
+		g.Wait()
+	})
+	if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+		t.Errorf("wakeup times not monotone: %v", seen)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	c := New()
+	var got []int
+	c.Run(func() {
+		q := NewQueue[int](c)
+		for i := 0; i < 100; i++ {
+			q.Put(i)
+		}
+		q.Close()
+		for {
+			v, ok := q.Get()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("queue order violated at %d: got %d", i, v)
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("drained %d items, want 100", len(got))
+	}
+}
+
+func TestQueueBlocksConsumerUntilPut(t *testing.T) {
+	c := New()
+	var consumedAt time.Duration
+	c.Run(func() {
+		q := NewQueue[string](c)
+		g := NewGroup(c)
+		g.Go("consumer", func() {
+			v, ok := q.Get()
+			if !ok || v != "x" {
+				t.Errorf("Get = %q,%v", v, ok)
+			}
+			consumedAt = c.Now()
+		})
+		g.Go("producer", func() {
+			c.Sleep(2 * time.Second)
+			q.Put("x")
+		})
+		g.Wait()
+	})
+	if consumedAt != 2*time.Second {
+		t.Errorf("consumed at %v, want 2s", consumedAt)
+	}
+}
+
+func TestQueueCloseWakesWaiters(t *testing.T) {
+	c := New()
+	oks := make([]bool, 3)
+	c.Run(func() {
+		q := NewQueue[int](c)
+		g := NewGroup(c)
+		for i := 0; i < 3; i++ {
+			g.Go("waiter", func() { _, oks[i] = q.Get() })
+		}
+		g.Go("closer", func() {
+			c.Sleep(time.Second)
+			q.Close()
+		})
+		g.Wait()
+	})
+	for i, ok := range oks {
+		if ok {
+			t.Errorf("waiter %d got ok=true from closed empty queue", i)
+		}
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	c := New()
+	end := c.Run(func() {
+		sem := NewSemaphore(c, "cpu", 2)
+		g := NewGroup(c)
+		for i := 0; i < 6; i++ {
+			g.Go("task", func() {
+				sem.Use(1, func() { c.Sleep(time.Second) })
+			})
+		}
+		g.Wait()
+	})
+	// 6 one-second tasks on 2 slots => 3 seconds.
+	if end != 3*time.Second {
+		t.Errorf("makespan %v, want 3s", end)
+	}
+}
+
+func TestSemaphoreFIFOOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.Run(func() {
+		sem := NewSemaphore(c, "r", 1)
+		sem.Acquire(1)
+		g := NewGroup(c)
+		for i := 0; i < 5; i++ {
+			i := i
+			// Stagger arrivals so queue order is deterministic.
+			g.Go("w", func() {
+				c.Sleep(time.Duration(i+1) * time.Millisecond)
+				sem.Acquire(1)
+				order = append(order, i)
+				sem.Release(1)
+			})
+		}
+		c.Sleep(time.Second)
+		sem.Release(1)
+		g.Wait()
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestSemaphoreMultiUnitAcquire(t *testing.T) {
+	c := New()
+	end := c.Run(func() {
+		sem := NewSemaphore(c, "mem", 4)
+		g := NewGroup(c)
+		// One big task (4 units) then two small ones (2 each): the big one
+		// runs alone, the small ones run together afterwards.
+		g.Go("big", func() { sem.Use(4, func() { c.Sleep(time.Second) }) })
+		g.Go("s1", func() {
+			c.Sleep(time.Millisecond)
+			sem.Use(2, func() { c.Sleep(time.Second) })
+		})
+		g.Go("s2", func() {
+			c.Sleep(time.Millisecond)
+			sem.Use(2, func() { c.Sleep(time.Second) })
+		})
+		g.Wait()
+	})
+	// Big runs [0,1s]; smalls arrive at 1ms, wait, then run [1s,2s]
+	// concurrently.
+	if end != 2*time.Second {
+		t.Errorf("makespan %v, want 2s", end)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	c := New()
+	var wokeAt [4]time.Duration
+	c.Run(func() {
+		ev := NewEvent(c)
+		g := NewGroup(c)
+		for i := 0; i < 4; i++ {
+			g.Go("w", func() {
+				ev.Wait()
+				wokeAt[i] = c.Now()
+			})
+		}
+		g.Go("setter", func() {
+			c.Sleep(7 * time.Second)
+			ev.Set()
+		})
+		g.Wait()
+		// Wait after Set returns immediately.
+		ev.Wait()
+	})
+	for i, at := range wokeAt {
+		if at != 7*time.Second {
+			t.Errorf("waiter %d woke at %v, want 7s", i, at)
+		}
+	}
+}
+
+func TestGroupEmptyWait(t *testing.T) {
+	c := New()
+	c.Run(func() {
+		g := NewGroup(c)
+		g.Wait() // must not block
+	})
+}
+
+func TestDeadlineFiresAndCancels(t *testing.T) {
+	c := New()
+	c.Run(func() {
+		d1 := NewDeadline(c, time.Second)
+		d2 := NewDeadline(c, time.Second)
+		d2.Cancel()
+		c.Sleep(2 * time.Second)
+		if !d1.Fired() {
+			t.Error("d1 did not fire")
+		}
+		if d2.Fired() {
+			t.Error("cancelled d2 fired")
+		}
+	})
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "deadlock") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c := New()
+	c.Run(func() {
+		q := NewQueue[int](c)
+		q.Get() // nobody will ever Put
+	})
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from Run")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c := New()
+	c.Run(func() { panic("boom") })
+}
+
+func TestAfterFunc(t *testing.T) {
+	c := New()
+	var at time.Duration
+	c.Run(func() {
+		done := NewEvent(c)
+		c.AfterFunc("later", 42*time.Millisecond, func() {
+			at = c.Now()
+			done.Set()
+		})
+		done.Wait()
+	})
+	if at != 42*time.Millisecond {
+		t.Errorf("AfterFunc ran at %v, want 42ms", at)
+	}
+}
+
+// Property: for any set of task durations run on a k-slot semaphore, the
+// makespan equals the deterministic list-scheduling makespan (tasks
+// admitted in FIFO order).
+func TestSemaphoreMakespanProperty(t *testing.T) {
+	f := func(durs []uint16, width uint8) bool {
+		k := int(width%4) + 1
+		if len(durs) > 40 {
+			durs = durs[:40]
+		}
+		c := New()
+		end := c.Run(func() {
+			sem := NewSemaphore(c, "k", int64(k))
+			g := NewGroup(c)
+			for i, d := range durs {
+				d := time.Duration(d) * time.Millisecond
+				// Stagger by i nanoseconds to make admission order
+				// deterministic.
+				i := i
+				g.Go("t", func() {
+					c.Sleep(time.Duration(i) * time.Nanosecond)
+					sem.Use(1, func() { c.Sleep(d) })
+				})
+			}
+			g.Wait()
+		})
+		// Reference: greedy earliest-available-slot schedule.
+		slots := make([]time.Duration, k)
+		for i, d := range durs {
+			arrive := time.Duration(i) * time.Nanosecond
+			// pick earliest-free slot
+			best := 0
+			for j := 1; j < k; j++ {
+				if slots[j] < slots[best] {
+					best = j
+				}
+			}
+			start := slots[best]
+			if arrive > start {
+				start = arrive
+			}
+			slots[best] = start + time.Duration(d)*time.Millisecond
+		}
+		var want time.Duration
+		for _, s := range slots {
+			if s > want {
+				want = s
+			}
+		}
+		// Also account for tasks arriving after all slots drained.
+		if n := len(durs); n > 0 {
+			if last := time.Duration(n-1) * time.Nanosecond; last > want {
+				want = last
+			}
+		}
+		return end == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a queue delivers exactly the multiset of values put, in put
+// order, across an arbitrary interleaving of producers.
+func TestQueueDeliveryProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		c := New()
+		var got []int32
+		c.Run(func() {
+			q := NewQueue[int32](c)
+			g := NewGroup(c)
+			g.Go("producer", func() {
+				for _, v := range vals {
+					q.Put(v)
+					c.Sleep(time.Microsecond)
+				}
+				q.Close()
+			})
+			g.Go("consumer", func() {
+				for {
+					v, ok := q.Get()
+					if !ok {
+						return
+					}
+					got = append(got, v)
+				}
+			})
+			g.Wait()
+		})
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: the same program yields the same final virtual time on
+// repeated runs.
+func TestDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		c := New()
+		return c.Run(func() {
+			sem := NewSemaphore(c, "gpu", 2)
+			q := NewQueue[int](c)
+			g := NewGroup(c)
+			for w := 0; w < 3; w++ {
+				g.Go("worker", func() {
+					for {
+						v, ok := q.Get()
+						if !ok {
+							return
+						}
+						sem.Use(1, func() {
+							c.Sleep(time.Duration(v) * time.Millisecond)
+						})
+					}
+				})
+			}
+			for i := 1; i <= 20; i++ {
+				q.Put(i * 7 % 13)
+				c.Sleep(time.Millisecond)
+			}
+			q.Close()
+			g.Wait()
+		})
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d gave %v, first gave %v", i, got, first)
+		}
+	}
+}

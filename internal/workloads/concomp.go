@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"gflink/internal/core"
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/gstruct"
+	"gflink/internal/kernels"
+)
+
+// ConnCompParams configures the ComponentConnect benchmark (Fig 6c):
+// iterative label propagation over the same synthetic graphs as
+// PageRank.
+type ConnCompParams struct {
+	// Pages is the nominal node count (5-25 million).
+	Pages int64
+	// EdgesPerPage is the average out-degree.
+	EdgesPerPage int
+	// Iterations is the fixed superstep count (HiBench runs a bounded
+	// number rather than to convergence).
+	Iterations  int
+	Parallelism int
+	UseCache    bool
+	Seed        uint64
+}
+
+func (p *ConnCompParams) defaults() {
+	if p.EdgesPerPage == 0 {
+		p.EdgesPerPage = 8
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 10
+	}
+}
+
+// ccCPUEdgeWork is the per-edge demand of the baseline propagation
+// step: the join probe and tuple handling of Flink's delta-iteration
+// ConnectedComponents per edge.
+var ccCPUEdgeWork = costmodel.Work{Flops: 850, BytesRead: 550}
+
+func labelsChecksum(l []uint32) float64 {
+	var s float64
+	for i, v := range l {
+		s += float64(v) * float64(i%83+1)
+	}
+	return s
+}
+
+// ConnCompCPU runs the baseline label propagation.
+func ConnCompCPU(g *core.GFlink, p ConnCompParams) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	j := c.NewJob("concomp-cpu")
+	par := p.Parallelism
+	if par <= 0 {
+		par = c.Parallelism()
+	}
+	gs := buildGraph(p.Seed, p.Pages, p.EdgesPerPage, par, g.Cfg.Config.ScaleDivisor)
+	edgeParts := make([]flink.Partition[[][2]int32], par)
+	for pi := range edgeParts {
+		edgeParts[pi] = flink.Partition[[][2]int32]{Worker: pi % c.Cfg.Workers, Items: [][][2]int32{gs.edges[pi]}, Nominal: gs.nomParts[pi]}
+	}
+	edges := flink.FromPartitions(j, 8, edgeParts)
+	labels := make([]uint32, gs.nReal)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	res := Result{}
+	for it := 0; it < p.Iterations; it++ {
+		t0 := c.Clock.Now()
+		// Redistribute labels to the edge partitions (Flink's delta
+		// iteration join shuffle).
+		j.ShuffleBytes(p.Pages * 4 * 2)
+		lNow := labels
+		tm0 := c.Clock.Now()
+		pairs := flink.ProcessPartitions(edges, "propagate", nodeValBytes, func(pi, worker int, in flink.Partition[[][2]int32]) ([]nodeVal, int64) {
+			j.ChargeCompute(in.Nominal, ccCPUEdgeWork)
+			nl, _ := kernels.CPUConnCompProp(in.Items[0], lNow)
+			return labelPairs(nl, lNow, p.Pages, in.Nominal)
+		})
+		res.MapPhase = c.Clock.Now() - tm0
+		labels = shuffleMinPairs(pairs, labels)
+		j.Superstep()
+		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
+	}
+	res.Total = c.Clock.Now() - start
+	res.Checksum = labelsChecksum(labels)
+	return res
+}
+
+// ConnCompGPU runs the GFlink label propagation with cached edge
+// blocks.
+func ConnCompGPU(g *core.GFlink, p ConnCompParams) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	j := c.NewJob("concomp-gpu")
+	par := p.Parallelism
+	if par <= 0 {
+		par = c.Parallelism()
+	}
+	gs := buildGraph(p.Seed, p.Pages, p.EdgesPerPage, par, g.Cfg.Config.ScaleDivisor)
+	edgeSchema := gstruct.MustNew("CCEdgeBlock", 4, gstruct.Field{Name: "e", Kind: gstruct.Int32, Len: 2})
+	blockParts := make([]flink.Partition[*core.Block], par)
+	for pi := range blockParts {
+		worker := pi % c.Cfg.Workers
+		es := gs.edges[pi]
+		buf := c.TaskManagers[worker].Pool.MustAllocate(8 * len(es))
+		for i, e := range es {
+			putRawF32asI32(buf.Bytes(), i*2, e[0])
+			putRawF32asI32(buf.Bytes(), i*2+1, e[1])
+		}
+		blk := &core.Block{
+			Schema: edgeSchema, Layout: gstruct.AoS,
+			Buf: buf, N: len(es), Nominal: gs.nomParts[pi],
+			Partition: pi, Index: 0,
+		}
+		blockParts[pi] = flink.Partition[*core.Block]{Worker: worker, Items: []*core.Block{blk}, Nominal: gs.nomParts[pi]}
+	}
+	blocks := flink.FromPartitions(j, 8, blockParts)
+	labels := make([]uint32, gs.nReal)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	res := Result{}
+	workers := g.Cfg.Config.Workers
+	for it := 0; it < p.Iterations; it++ {
+		t0 := c.Clock.Now()
+		j.ShuffleBytes(p.Pages * 4 * 2)
+		labelBuf := c.TaskManagers[0].Pool.MustAllocate(4 * gs.nReal)
+		for i, l := range labels {
+			putRawF32asI32(labelBuf.Bytes(), i, int32(l))
+		}
+		perWorker := core.StageBuffer(g, labelBuf)
+		iterKey := core.CacheKey{JobID: j.ID, Partition: -2, Block: it}
+		lNow := labels
+		tm0 := c.Clock.Now()
+		pairs := flink.ProcessPartitions(blocks, "gpu:propagate", nodeValBytes, func(pi, worker int, in flink.Partition[*core.Block]) ([]nodeVal, int64) {
+			blk := in.Items[0]
+			pool := c.TaskManagers[worker].Pool
+			outBuf := pool.MustAllocate(4 * gs.nReal)
+			w := &core.GWork{
+				ExecuteName: kernels.ConnCompKernel,
+				Size:        blk.N,
+				Nominal:     blk.Nominal,
+				BlockSize:   256,
+				GridSize:    (blk.N + 255) / 256,
+				In: []core.Input{
+					{Buf: blk.Buf, Nominal: blk.Nominal * 8, Cache: p.UseCache, Key: blk.Key(j.ID)},
+					// Labels cross PCIe once per GPU per superstep.
+					{Buf: perWorker[worker%workers], Nominal: p.Pages * 4, Cache: p.UseCache, Key: iterKey},
+				},
+				Out: outBuf,
+				// Improved labels only: at most one per edge.
+				OutNominal: minI64(blk.Nominal, p.Pages) * 4,
+				Args:       []int64{int64(gs.nReal)},
+				JobID:      j.ID,
+			}
+			g.Manager(worker).Streams.Submit(w)
+			if err := w.Wait(); err != nil {
+				panic(err)
+			}
+			nl := make([]uint32, gs.nReal)
+			for i := range nl {
+				nl[i] = rawU32(outBuf.Bytes(), i)
+			}
+			outBuf.Free()
+			return labelPairs(nl, lNow, p.Pages, in.Nominal)
+		})
+		res.MapPhase = c.Clock.Now() - tm0
+		labels = shuffleMinPairs(pairs, labels)
+		for _, b := range perWorker {
+			b.Free()
+		}
+		labelBuf.Free()
+		j.Superstep()
+		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
+	}
+	g.ReleaseJobCaches(j.ID)
+	for pi := range blockParts {
+		blockParts[pi].Items[0].Buf.Free()
+	}
+	res.Total = c.Clock.Now() - start
+	res.Checksum = labelsChecksum(labels)
+	return res
+}

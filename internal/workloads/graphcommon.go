@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+)
+
+// minI64 returns the smaller of two int64s.
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// nodeVal is one (node, value) shuffle record of the graph workloads:
+// a map-side-combined contribution (PageRank) or candidate label
+// (ConnectedComponents). 12 bytes on the wire.
+type nodeVal struct {
+	Node int32
+	Val  float32
+}
+
+const nodeValBytes = 12
+
+// pairNominal estimates the paper-scale count of map-side-combined
+// pairs a partition ships: the observed touched fraction, capped by the
+// analytic expectation for a skewed graph (at aggressive scale-down
+// every real node is touched, which would wildly overestimate the
+// shuffle). The 0.4 factor reflects the combining a power-law
+// destination distribution enables.
+func pairNominal(touched, realNodes int, nominalNodes, edgesNominal int64) int64 {
+	if realNodes == 0 {
+		return 0
+	}
+	byRatio := nominalNodes * int64(touched) / int64(realNodes)
+	cap := int64(0.4 * float64(minI64(edgesNominal, nominalNodes)))
+	return minI64(byRatio, cap)
+}
+
+// densePairsF32 converts a dense per-partition accumulator into the
+// aggregated pairs Flink's combinable reduce would ship: only touched
+// nodes travel.
+func densePairsF32(dense []float32, nominalNodes, edgesNominal int64) ([]nodeVal, int64) {
+	var pairs []nodeVal
+	for i, v := range dense {
+		if v != 0 {
+			pairs = append(pairs, nodeVal{Node: int32(i), Val: v})
+		}
+	}
+	return pairs, pairNominal(len(pairs), len(dense), nominalNodes, edgesNominal)
+}
+
+// shuffleSumPairs runs the combinable hash shuffle that aggregates
+// contributions cluster-wide (the part of every PageRank superstep that
+// stays on the engine in both variants) and folds the result into a
+// dense vector. The driver-side materialization itself is bookkeeping —
+// in Flink the reduced values stay on the workers and join the next
+// superstep — so only the shuffle is charged.
+func shuffleSumPairs(pairs *flink.Dataset[nodeVal], nReal int) []float32 {
+	reduced := flink.ReduceByKey(pairs, "aggContrib", costmodel.Work{Flops: 4},
+		func(p nodeVal) int32 { return p.Node },
+		func(a, b nodeVal) nodeVal { return nodeVal{Node: a.Node, Val: a.Val + b.Val} })
+	out := make([]float32, nReal)
+	for pi := 0; pi < reduced.Partitions(); pi++ {
+		for _, p := range reduced.Partition(pi).Items {
+			out[p.Node] += p.Val
+		}
+	}
+	return out
+}
+
+// shuffleMinPairs is shuffleSumPairs with min-combining over label
+// candidates; absent nodes keep their previous label.
+func shuffleMinPairs(pairs *flink.Dataset[nodeVal], prev []uint32) []uint32 {
+	reduced := flink.ReduceByKey(pairs, "aggLabels", costmodel.Work{Flops: 2},
+		func(p nodeVal) int32 { return p.Node },
+		func(a, b nodeVal) nodeVal {
+			if b.Val < a.Val {
+				return b
+			}
+			return a
+		})
+	out := append([]uint32(nil), prev...)
+	for pi := 0; pi < reduced.Partitions(); pi++ {
+		for _, p := range reduced.Partition(pi).Items {
+			if l := uint32(p.Val); l < out[p.Node] {
+				out[p.Node] = l
+			}
+		}
+	}
+	return out
+}
+
+// labelPairs converts a dense label array into pairs for nodes whose
+// label improved versus prev.
+func labelPairs(labels []uint32, prev []uint32, nominalNodes, edgesNominal int64) ([]nodeVal, int64) {
+	var pairs []nodeVal
+	for i, l := range labels {
+		if l < prev[i] {
+			pairs = append(pairs, nodeVal{Node: int32(i), Val: float32(l)})
+		}
+	}
+	return pairs, pairNominal(len(pairs), len(labels), nominalNodes, edgesNominal)
+}

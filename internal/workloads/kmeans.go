@@ -1,0 +1,215 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gflink/internal/core"
+	"gflink/internal/flink"
+	"gflink/internal/gstruct"
+	"gflink/internal/kernels"
+)
+
+// KMeansParams configures the KMeans benchmark (HiBench-style: dense
+// float points, fixed iteration count).
+type KMeansParams struct {
+	// Points is the nominal point count (the paper sweeps 150-270
+	// million).
+	Points int64
+	// K and D are the cluster and dimension counts (HiBench defaults:
+	// k=10, d=20).
+	K, D int
+	// Iterations is the fixed Lloyd iteration count.
+	Iterations int
+	// Parallelism is the partition count (0 = cluster default).
+	Parallelism int
+	// UseCache enables the GPU cache for the point blocks (GPU variant
+	// only).
+	UseCache bool
+	// FromHDFS reads the input in the first iteration and WriteResult
+	// writes the centroids in the last, as Fig 7a's setup does.
+	FromHDFS    bool
+	WriteResult bool
+	// Seed keys the generators.
+	Seed uint64
+}
+
+func (p *KMeansParams) defaults() {
+	if p.K == 0 {
+		p.K = 10
+	}
+	if p.D == 0 {
+		p.D = 20
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 10
+	}
+}
+
+// pointBytes is the on-wire record size.
+func (p KMeansParams) pointBytes() int { return 4 * p.D }
+
+// kmeansCoord generates coordinate j of nominal point ord: points
+// cluster around K true centers so the algorithm has real structure.
+func kmeansCoord(seed uint64, ord int64, j, k int) float32 {
+	center := mix(seed, uint64(ord)) % uint64(k)
+	base := unit(seed+uint64(center)*977+uint64(j)*31, 0) * 100
+	noise := unit(seed+123457, uint64(ord)*29+uint64(j))*4 - 2
+	return base + noise
+}
+
+// initialCentroids derives the deterministic starting centroids.
+func initialCentroids(seed uint64, k, d int) []float32 {
+	cents := make([]float32, k*d)
+	for c := 0; c < k; c++ {
+		for j := 0; j < d; j++ {
+			cents[c*d+j] = kmeansCoord(seed, int64(c)*7919, j, k)
+		}
+	}
+	return cents
+}
+
+// centroidChecksum fingerprints a centroid set.
+func centroidChecksum(cents []float32) float64 {
+	var s float64
+	for i, v := range cents {
+		s += float64(v) * float64(i+1)
+	}
+	return s
+}
+
+// KMeansCPU runs the baseline-Flink KMeans. Call inside the cluster's
+// virtual clock.
+func KMeansCPU(g *core.GFlink, p KMeansParams) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	j := c.NewJob("kmeans-cpu")
+	points := flink.Generate(j, "points", p.Points, p.pointBytes(), p.Parallelism, func(part int, ord int64) []float32 {
+		pt := make([]float32, p.D)
+		for jj := 0; jj < p.D; jj++ {
+			pt[jj] = kmeansCoord(p.Seed, ord, jj, p.K)
+		}
+		return pt
+	})
+	cents := initialCentroids(p.Seed, p.K, p.D)
+	res := Result{}
+	perRec := kernels.KMeansWork(p.K, p.D)
+	for it := 0; it < p.Iterations; it++ {
+		t0 := c.Clock.Now()
+		if it == 0 && p.FromHDFS {
+			// Fig 7a: the first iteration reads the points from HDFS.
+			stageRead(g, j, "kmeans-input", p.Points*int64(p.pointBytes()), p.Parallelism)
+		}
+		j.Broadcast(int64(p.K * p.D * 4))
+		centsNow := cents
+		tm0 := c.Clock.Now()
+		// Partial sums are one fixed-size record per partition at any
+		// scale, so nominal output is 1 (not the input's nominal count).
+		partials := flink.ProcessPartitions(points, "assign", 4*p.K*(p.D+1), func(pi, worker int, in flink.Partition[[]float32]) ([][]float32, int64) {
+			j.ChargeCompute(in.Nominal, perRec)
+			return [][]float32{kernels.CPUKMeansAssign(in.Items, centsNow, p.K, p.D)}, 1
+		})
+		merged := make([]float32, p.K*(p.D+1))
+		for _, part := range flink.Collect(partials) {
+			kernels.MergePartials(merged, part)
+		}
+		res.MapPhase = c.Clock.Now() - tm0
+		cents = kernels.UpdateCentroids(merged, cents, p.K, p.D)
+		if it == p.Iterations-1 && p.WriteResult {
+			// HiBench KMeans writes the per-point cluster assignments.
+			writeResult(g, "kmeans-output", p.Points*8)
+		}
+		j.Superstep()
+		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
+	}
+	res.Total = c.Clock.Now() - start
+	res.Checksum = centroidChecksum(cents)
+	return res
+}
+
+// KMeansGPU runs the GFlink KMeans: points live in SoA GDST blocks,
+// each iteration broadcasts the centroids and launches the fused
+// assign-reduce kernel per block.
+func KMeansGPU(g *core.GFlink, p KMeansParams) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	j := c.NewJob("kmeans-gpu")
+	schema := kernels.PointSchema(p.D)
+	ds := core.NewGDST(g, j, schema, gstruct.SoA, p.Points, p.Parallelism, func(part int, v gstruct.View, i int, ord int64) {
+		for jj := 0; jj < p.D; jj++ {
+			v.PutFloat32At(i, jj, 0, kmeansCoord(p.Seed, ord, jj, p.K))
+		}
+	})
+	partialSchema := gstruct.MustNew(fmt.Sprintf("KPartial%dx%d", p.K, p.D), 4,
+		gstruct.Field{Name: "sums", Kind: gstruct.Float32, Len: p.K * (p.D + 1)})
+	cents := initialCentroids(p.Seed, p.K, p.D)
+	res := Result{}
+	workers := g.Cfg.Config.Workers
+	for it := 0; it < p.Iterations; it++ {
+		t0 := c.Clock.Now()
+		if it == 0 && p.FromHDFS {
+			// Fig 7a: the first iteration reads the points from HDFS.
+			stageRead(g, j, "kmeans-input", p.Points*int64(p.pointBytes()), p.Parallelism)
+		}
+		// Centroids are consumed by the kernel as a flat c*d+j float
+		// array; write them raw into an off-heap buffer and broadcast.
+		centBuf := c.TaskManagers[0].Pool.MustAllocate(4 * p.K * p.D)
+		for i, v := range cents {
+			putRawF32(centBuf.Bytes(), i, v)
+		}
+		perWorker := core.BroadcastBuffer(g, j, centBuf, int64(4*p.K*p.D))
+		tm0 := c.Clock.Now()
+		partials := core.GPUReducePartition(g, ds, core.GPUMapSpec{
+			Name:       "kmeansAssign",
+			Kernel:     kernels.KMeansAssignKernel,
+			OutSchema:  partialSchema,
+			OutLayout:  gstruct.AoS,
+			CacheInput: p.UseCache,
+			Args:       []int64{int64(p.K), int64(p.D)},
+			Extra: func(b *core.Block) []core.Input {
+				return []core.Input{{
+					Buf:     perWorker[b.Partition%workers],
+					Nominal: int64(4 * p.K * p.D),
+				}}
+			},
+		}, 1)
+		merged := make([]float32, p.K*(p.D+1))
+		for _, blk := range core.CollectBlocks(partials) {
+			v := blk.View()
+			for i := range merged {
+				merged[i] += v.Float32At(0, 0, i)
+			}
+		}
+		res.MapPhase = c.Clock.Now() - tm0
+		core.FreeBlocks(partials)
+		for _, b := range perWorker {
+			b.Free()
+		}
+		centBuf.Free()
+		cents = kernels.UpdateCentroids(merged, cents, p.K, p.D)
+		if it == p.Iterations-1 && p.WriteResult {
+			// HiBench KMeans writes the per-point cluster assignments.
+			writeResult(g, "kmeans-output", p.Points*8)
+		}
+		j.Superstep()
+		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
+	}
+	g.ReleaseJobCaches(j.ID)
+	core.FreeBlocks(ds)
+	res.Total = c.Clock.Now() - start
+	res.Checksum = centroidChecksum(cents)
+	return res
+}
+
+// putRawF32 writes a little-endian float32 at index i of buf.
+func putRawF32(buf []byte, i int, v float32) {
+	binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+}
+
+// rawF32 reads a little-endian float32 at index i of buf.
+func rawF32(buf []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+}

@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"gflink/internal/core"
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/kernels"
+)
+
+// WordCountParams configures the WordCount benchmark: the only batch
+// (one-pass) workload of Table 1, whose HDFS scan makes it I/O-bound
+// (the ~1.1x speedup of Fig 5c).
+type WordCountParams struct {
+	// Bytes is the nominal input size (24-56 GB in the paper).
+	Bytes int64
+	// Vocab is the distinct-word table size.
+	Vocab int
+	// LineBytes is the average record length.
+	LineBytes   int
+	Parallelism int
+	Seed        uint64
+}
+
+func (p *WordCountParams) defaults() {
+	if p.Vocab == 0 {
+		p.Vocab = 4096
+	}
+	if p.LineBytes == 0 {
+		p.LineBytes = 100
+	}
+}
+
+// wcLine deterministically generates the text line at nominal ordinal
+// ord: skewed word ids joined by spaces, padded to ~LineBytes.
+func wcLine(seed uint64, ord int64, lineBytes, vocab int) string {
+	var b strings.Builder
+	i := 0
+	for b.Len() < lineBytes-8 {
+		m := mix(seed, uint64(ord)*97+uint64(i))
+		// Product skew: low word ids are much more frequent.
+		id := int((m % uint64(vocab)) * ((m >> 32) % uint64(vocab)) / uint64(vocab))
+		fmt.Fprintf(&b, "w%d ", id)
+		i++
+	}
+	return b.String()
+}
+
+// wcChecksum fingerprints a count table.
+func wcChecksum(counts map[int]uint32) float64 {
+	var s float64
+	for slot, c := range counts {
+		s += float64(slot+1) * float64(c)
+	}
+	return s
+}
+
+// wcPair is one (slot, count) shuffle record.
+type wcPair struct {
+	Slot  int
+	Count uint32
+}
+
+// wordCountShuffle reduces per-partition dense tables through the
+// engine's hash shuffle and returns the global counts.
+func wordCountShuffle(tables *flink.Dataset[wcPair], vocab int) map[int]uint32 {
+	reduced := flink.ReduceByKey(tables, "sumCounts", costmodel.Work{Flops: 2},
+		func(p wcPair) int { return p.Slot },
+		func(a, b wcPair) wcPair { return wcPair{Slot: a.Slot, Count: a.Count + b.Count} })
+	out := make(map[int]uint32, vocab)
+	for _, p := range flink.Collect(reduced) {
+		out[p.Slot] += p.Count
+	}
+	return out
+}
+
+// WordCountCPU runs the baseline WordCount: scan HDFS, tokenize through
+// the iterator model, shuffle counts, write the result.
+func WordCountCPU(g *core.GFlink, p WordCountParams) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	j := c.NewJob("wordcount-cpu")
+	c.FS.Create("wc-input", p.Bytes)
+	lines, err := flink.ReadHDFS(j, "wc-input", p.Parallelism, p.LineBytes, func(split int, ord int64) string {
+		return wcLine(p.Seed, ord, p.LineBytes, p.Vocab)
+	})
+	if err != nil {
+		panic(err)
+	}
+	tm0 := c.Clock.Now()
+	// Tokenize and count per partition. The iterator model pays
+	// per-word record overhead plus the scan cost (HiBench text averages
+	// ~12 bytes per word including the separator).
+	wordsPerLine := float64(p.LineBytes) / 12.0
+	tables := flink.ProcessPartitions(lines, "tokenize", 12, func(pi, worker int, in flink.Partition[string]) ([]wcPair, int64) {
+		nominalWords := int64(float64(in.Nominal) * wordsPerLine)
+		j.ChargeCompute(nominalWords, costmodel.Work{Flops: 14, BytesRead: 7})
+		text := strings.Join(in.Items, " ")
+		table := kernels.CPUWordCount([]byte(text), p.Vocab)
+		var pairs []wcPair
+		for slot, cnt := range table {
+			if cnt > 0 {
+				pairs = append(pairs, wcPair{Slot: slot, Count: cnt})
+			}
+		}
+		return pairs, int64(p.Vocab)
+	})
+	res := Result{}
+	counts := wordCountShuffle(tables, p.Vocab)
+	res.MapPhase = c.Clock.Now() - tm0
+	flinkWriteCounts(g, p.Vocab)
+	res.Total = c.Clock.Now() - start
+	res.Checksum = wcChecksum(counts)
+	return res
+}
+
+// flinkWriteCounts writes the reduced table to HDFS.
+func flinkWriteCounts(g *core.GFlink, vocab int) {
+	g.Cluster.FS.Write(0, "wc-output", int64(vocab*12))
+}
+
+// WordCountGPU runs the GFlink WordCount: text blocks go to the
+// tokenizing kernel; the shuffle and I/O stay on the engine, which is
+// why the speedup is modest.
+func WordCountGPU(g *core.GFlink, p WordCountParams) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	j := c.NewJob("wordcount-gpu")
+	c.FS.Create("wc-input", p.Bytes)
+	// The scan cost is identical to the CPU path.
+	lines, err := flink.ReadHDFS(j, "wc-input", p.Parallelism, p.LineBytes, func(split int, ord int64) string {
+		return wcLine(p.Seed, ord, p.LineBytes, p.Vocab)
+	})
+	if err != nil {
+		panic(err)
+	}
+	tm0 := c.Clock.Now()
+	tables := flink.ProcessPartitions(lines, "gpu:tokenize", 12, func(pi, worker int, in flink.Partition[string]) ([]wcPair, int64) {
+		text := []byte(strings.Join(in.Items, " "))
+		pool := g.Cluster.TaskManagers[worker].Pool
+		inBuf := pool.MustAllocate(len(text) + 1)
+		copy(inBuf.Bytes(), text)
+		outBuf := pool.MustAllocate(4 * p.Vocab)
+		nominalBytes := in.Nominal * int64(p.LineBytes)
+		w := &core.GWork{
+			ExecuteName: kernels.WordCountKernel,
+			Size:        len(text),
+			Nominal:     nominalBytes,
+			BlockSize:   256,
+			GridSize:    (len(text) + 255) / 256,
+			In:          []core.Input{{Buf: inBuf, Nominal: nominalBytes}},
+			Out:         outBuf,
+			OutNominal:  int64(4 * p.Vocab),
+			Args:        []int64{int64(p.Vocab)},
+			JobID:       j.ID,
+		}
+		g.Manager(worker).Streams.Submit(w)
+		if err := w.Wait(); err != nil {
+			panic(err)
+		}
+		var pairs []wcPair
+		for slot := 0; slot < p.Vocab; slot++ {
+			if cnt := rawU32(outBuf.Bytes(), slot); cnt > 0 {
+				pairs = append(pairs, wcPair{Slot: slot, Count: cnt})
+			}
+		}
+		inBuf.Free()
+		outBuf.Free()
+		return pairs, int64(p.Vocab)
+	})
+	res := Result{}
+	counts := wordCountShuffle(tables, p.Vocab)
+	res.MapPhase = c.Clock.Now() - tm0
+	flinkWriteCounts(g, p.Vocab)
+	res.Total = c.Clock.Now() - start
+	res.Checksum = wcChecksum(counts)
+	return res
+}
+
+// rawU32 reads the i-th little-endian uint32 of buf.
+func rawU32(buf []byte, i int) uint32 {
+	return uint32(buf[i*4]) | uint32(buf[i*4+1])<<8 | uint32(buf[i*4+2])<<16 | uint32(buf[i*4+3])<<24
+}
