@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# go vet's standard checks plus the repo's own analyzer suite
+# (wallclock, clockgo, lockhold, buflifecycle — see DESIGN.md
+# "Concurrency & lifetime invariants").
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/gflink-vet ./...
+
+bench:
+	$(GO) run ./cmd/gflink-bench -list

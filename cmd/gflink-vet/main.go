@@ -1,0 +1,67 @@
+// Command gflink-vet runs the repository's custom static analyzers
+// (wallclock, clockgo, lockhold, buflifecycle) over the module. See
+// DESIGN.md "Concurrency & lifetime invariants" for what each enforces
+// and why `go test -race` cannot.
+//
+// Usage:
+//
+//	gflink-vet [packages]        # standalone; defaults to ./...
+//	go vet -vettool=$(which gflink-vet) ./...   # as a vet tool
+//
+// In standalone mode the tool type-checks the module from source
+// (including in-package test files) and needs no build cache. When
+// invoked by `go vet -vettool` it speaks the vet config protocol
+// instead, reusing the export data the go command already built.
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"gflink/internal/analysis"
+	"gflink/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	// `go vet` probes the tool's identity with -V=full and its flag
+	// surface with -flags before handing it unit configs.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "-V":
+			fmt.Printf("gflink-vet version gflink-vet-1\n")
+			return
+		case "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetTool(args[0]) // go vet -vettool mode
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	findings, err := analysis.Run(l, args, suite.Rules())
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gflink-vet:", err)
+	os.Exit(2)
+}

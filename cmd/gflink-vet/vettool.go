@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"gflink/internal/analysis"
+	"gflink/internal/analysis/suite"
+)
+
+// vetConfig is the JSON unit description `go vet` hands a -vettool
+// (the same schema golang.org/x/tools/go/analysis/unitchecker reads).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes one compilation unit described by cfgFile,
+// resolving imports through the export data the go command prepared.
+func runVetTool(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fail(fmt.Errorf("parsing vet config %s: %w", cfgFile, err))
+	}
+	// The go command requires a facts file even though this suite
+	// exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("gflink-vet: no facts\n"), 0o666); err != nil {
+			fail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+	var active []analysis.Rule
+	for _, r := range suite.Rules() {
+		if r.Applies == nil || r.Applies(cfg.ImportPath) {
+			active = append(active, r)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			typecheckFail(cfg, err)
+			return
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		typecheckFail(cfg, err)
+		return
+	}
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	findings, err := analysis.RunAnalyzers(pkg, active)
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func typecheckFail(cfg vetConfig, err error) {
+	if cfg.SucceedOnTypecheckFailure {
+		return
+	}
+	fail(err)
+}

@@ -1,0 +1,143 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comment expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for this module's
+// self-contained analysis framework.
+//
+// Fixture layout follows the x/tools convention: testdata/src/<pkg>
+// holds one package, loaded with import path <pkg>. Fixture packages
+// may import each other (resolved against testdata/src first), any
+// package of this module (so fixtures can exercise the real
+// internal/vclock and internal/membuf types), and the standard library.
+//
+// Expectations are trailing comments of the form
+//
+//	q.Get() // want `may block the virtual clock`
+//	time.Now() // want "wall-clock" "second pattern on the same line"
+//
+// Each quoted string is a regular expression that must match the
+// message of one diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gflink/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package from testdata/src and applies the
+// analyzer, reporting expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtraSrcDirs = []string{filepath.Join(testdata, "src")}
+	for _, pkgPath := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		pkg, err := l.Load(dir, pkgPath, false)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkgPath, err)
+			continue
+		}
+		findings, err := analysis.RunAnalyzers(pkg, []analysis.Rule{{Analyzer: a}})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				expects = append(expects, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	for _, fd := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.file != fd.Pos.Filename || e.line != fd.Pos.Line {
+				continue
+			}
+			if e.rx.MatchString(fd.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fd.Pos, fd.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// parseWant extracts the expectations of one comment.
+func parseWant(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimLeft(strings.TrimPrefix(c.Text, "//"), " \t"), "want ")
+	if !ok {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+		raw := m[2]
+		if m[1] != "" || raw == "" {
+			unq, err := strconv.Unquote(`"` + m[1] + `"`)
+			if err != nil {
+				t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+				continue
+			}
+			raw = unq
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+			continue
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: raw})
+	}
+	if len(out) == 0 {
+		t.Errorf("%s: // want comment with no patterns", pos)
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+// Package buflifecycle checks membuf.HBuffer ownership discipline.
+//
+// The paper's GMemoryManager "allocates and releases buffers
+// automatically" and owns each buffer's lifetime exactly once
+// (Section 4.1.2); membuf mirrors that with a panic on double Free and
+// pool accounting that only balances when every Allocate is matched by
+// exactly one Free. A leaked HBuffer is invisible to Go's GC story —
+// the pages stay charged against the pool until the off-heap budget
+// spuriously exhausts, which is precisely the failure mode that makes
+// off-heap memory management hard (see "Garbage Collection or
+// Serialization?" in PAPERS.md).
+//
+// The check is intraprocedural and ownership-based. Within each
+// top-level function it finds Pool.Allocate / Pool.MustAllocate results
+// bound to local variables and requires each to reach one of:
+//
+//   - a Free() call (directly, deferred, or inside a nested function
+//     literal — workers commonly free in a clock.Go closure), or
+//   - an ownership transfer: the buffer is returned, passed to another
+//     function, stored into a field, slice, map or channel, or aliased
+//     to another variable. Transfers hand lifetime to someone else and
+//     end this function's responsibility.
+//
+// Results discarded outright (assigned to _, or an unused call result)
+// are always leaks. A transfer that the analyzer cannot see (for
+// example handing raw bytes whose owner keeps the HBuffer alive
+// elsewhere) can be documented with //gflink:owns-buffer on the
+// allocation line or the line above.
+//
+// Additionally, Pin() on a buffer that is never Unpinned, Freed or
+// transferred in the same function is flagged: pinned pages are
+// excluded from cache reclaim, so a forgotten Unpin permanently shrinks
+// the evictable region.
+package buflifecycle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gflink/internal/analysis"
+)
+
+// Analyzer implements the buflifecycle check.
+var Analyzer = &analysis.Analyzer{
+	Name: "buflifecycle",
+	Doc:  "flag membuf Pool.Allocate/MustAllocate results that can leak (no Free and no ownership transfer) and Pin calls with no Unpin/Free (suppress with //gflink:owns-buffer)",
+	Run:  run,
+}
+
+const membufPath = "gflink/internal/membuf"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		idx := analysis.DirectiveIndex(pass.Fset, f)
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, idx, parents, fd.Body)
+			return false
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc audits one top-level function body. Nested function
+// literals are scanned as part of the enclosing function: a Free inside
+// a spawned closure still releases the allocation made outside it.
+func checkFunc(pass *analysis.Pass, idx map[string]map[int]bool, parents map[ast.Node]ast.Node, body *ast.BlockStmt) {
+	type allocSite struct {
+		call *ast.CallExpr
+		name string // Allocate or MustAllocate
+		obj  *types.Var
+	}
+	var allocs []allocSite
+	pins := make(map[*types.Var]*ast.CallExpr) // first Pin site per buffer
+
+	// Pass 1: collect allocation and Pin sites.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := allocCall(pass, call); ok {
+			site := allocSite{call: call, name: name}
+			if v := boundVar(pass, parents, call); v != nil {
+				site.obj = v
+			} else if transferContext(parents, call) {
+				// pool.MustAllocate(...) used directly as an argument,
+				// return value, or stored somewhere: ownership moved at
+				// the call site.
+				return true
+			}
+			allocs = append(allocs, site)
+			return true
+		}
+		if recv, method := bufferMethod(pass, call); recv != nil && method == "Pin" {
+			if _, seen := pins[recv]; !seen {
+				pins[recv] = call
+			}
+		}
+		return true
+	})
+
+	// Pass 2: classify every use of each tracked buffer variable.
+	freed := make(map[*types.Var]bool)
+	unpinned := make(map[*types.Var]bool)
+	transferred := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		tracked := false
+		for _, a := range allocs {
+			if a.obj == obj {
+				tracked = true
+				break
+			}
+		}
+		if _, pinTracked := pins[obj]; !tracked && !pinTracked {
+			return true
+		}
+		switch use := classifyUse(parents, id); use {
+		case "Free":
+			freed[obj] = true
+		case "Unpin":
+			unpinned[obj] = true
+		case "read":
+			// Bytes, Raw, Size, Pinned, ... — neutral.
+		case "transfer":
+			transferred[obj] = true
+		}
+		return true
+	})
+
+	for _, a := range allocs {
+		if analysis.DirectiveAt(idx, pass.Fset, "owns-buffer", a.call.Pos()) {
+			continue
+		}
+		if a.obj == nil {
+			pass.Reportf(a.call.Pos(), "result of Pool.%s is discarded; the HBuffer leaks pool pages until off-heap exhaustion", a.name)
+			continue
+		}
+		if !freed[a.obj] && !transferred[a.obj] {
+			pass.Reportf(a.call.Pos(), "HBuffer %q from Pool.%s is never freed or transferred in this function; call Free, or annotate the transfer with //gflink:owns-buffer", a.obj.Name(), a.name)
+		}
+	}
+	for obj, pin := range pins {
+		if analysis.DirectiveAt(idx, pass.Fset, "owns-buffer", pin.Pos()) {
+			continue
+		}
+		if !unpinned[obj] && !freed[obj] && !transferred[obj] {
+			pass.Reportf(pin.Pos(), "HBuffer %q is pinned but never unpinned, freed or transferred in this function; pinned pages are excluded from cache reclaim", obj.Name())
+		}
+	}
+}
+
+// allocCall reports whether call is Pool.Allocate or Pool.MustAllocate.
+func allocCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != membufPath {
+		return "", false
+	}
+	if fn.Name() != "Allocate" && fn.Name() != "MustAllocate" {
+		return "", false
+	}
+	if recv := recvName(fn); recv != "Pool" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// bufferMethod resolves a call of the form v.Method() where v is an
+// identifier of type *membuf.HBuffer, returning its variable and the
+// method name.
+func bufferMethod(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !isHBuffer(v.Type()) {
+		return nil, ""
+	}
+	return v, sel.Sel.Name
+}
+
+func isHBuffer(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == membufPath && n.Obj().Name() == "HBuffer"
+}
+
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// boundVar returns the local variable an allocation call's buffer
+// result is bound to, or nil when discarded or used inline.
+func boundVar(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) *types.Var {
+	asg, ok := parents[call].(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 || asg.Rhs[0] != ast.Expr(call) || len(asg.Lhs) == 0 {
+		return nil
+	}
+	// Allocate returns (buf, err); MustAllocate returns buf. Either
+	// way, the buffer is the first LHS element.
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// transferContext reports whether an inline (unbound) allocation call
+// hands the buffer off: used as a call argument, returned, or placed
+// into a composite value.
+func transferContext(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	switch p := parents[call].(type) {
+	case *ast.CallExpr:
+		return p.Fun != ast.Expr(call) // argument position
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return true
+	case *ast.AssignStmt:
+		// boundVar already claimed single-RHS bindings to plain
+		// variables; what remains is either an explicit discard (a
+		// leak) or a store into a field/index/deref (a transfer).
+		for i, r := range p.Rhs {
+			if r != ast.Expr(call) {
+				continue
+			}
+			if i < len(p.Lhs) {
+				if id, ok := p.Lhs[i].(*ast.Ident); ok {
+					return id.Name != "_"
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.SelectorExpr:
+		// pool.MustAllocate(n).Something() — method chain; the receiver
+		// is still unowned, so not a transfer.
+		return false
+	}
+	return false
+}
+
+// classifyUse decides what one identifier occurrence does with the
+// buffer it names.
+func classifyUse(parents map[ast.Node]ast.Node, id *ast.Ident) string {
+	sel, ok := parents[id].(*ast.SelectorExpr)
+	if ok && sel.X == ast.Expr(id) {
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+			switch sel.Sel.Name {
+			case "Free":
+				return "Free"
+			case "Unpin":
+				return "Unpin"
+			default:
+				return "read"
+			}
+		}
+		// Method value (b.Free passed around): treat as transfer.
+		return "transfer"
+	}
+	switch p := parents[id].(type) {
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == ast.Expr(id) {
+				// Reassignment target; not a use of the old value.
+				return "read"
+			}
+		}
+		return "transfer" // aliased into another variable
+	case *ast.ValueSpec:
+		return "transfer"
+	case *ast.CallExpr:
+		if p.Fun == ast.Expr(id) {
+			return "read" // calling a func-typed variable named id (not a buffer)
+		}
+		return "transfer" // argument
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt,
+		*ast.IndexExpr, *ast.UnaryExpr:
+		return "transfer"
+	}
+	return "read"
+}
+
+// parentMap records each node's syntactic parent.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,12 @@
+package buflifecycle_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/buflifecycle"
+)
+
+func TestBufLifecycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), buflifecycle.Analyzer, "buflifecycle")
+}

@@ -1,0 +1,12 @@
+package clockgo_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/clockgo"
+)
+
+func TestClockGo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), clockgo.Analyzer, "clockgo")
+}

@@ -1,0 +1,35 @@
+// Fixture for the clockgo analyzer: bare go statements are flagged,
+// clock.Go and //gflink:allow-go sites are not.
+package clockgo
+
+import "gflink/internal/vclock"
+
+func bad() {
+	go work() // want `bare go statement`
+}
+
+func badLit(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `bare go statement`
+			work()
+		}()
+	}
+}
+
+func okAllowedSameLine() {
+	go work() //gflink:allow-go
+}
+
+func okAllowedAbove() {
+	//gflink:allow-go -- host-side bridge goroutine, not a simulated process
+	go work()
+}
+
+func okClock(c *vclock.Clock) {
+	c.Go("worker", work)
+	g := vclock.NewGroup(c)
+	g.Go("worker", work)
+	g.Wait()
+}
+
+func work() {}

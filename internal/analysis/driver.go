@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic produced by a driver run.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Rule binds an analyzer to the set of packages it applies to. A nil
+// Applies runs the analyzer everywhere.
+type Rule struct {
+	Analyzer *Analyzer
+	Applies  func(importPath string) bool
+}
+
+// Under returns a package predicate matching prefix and everything
+// below it (e.g. Under("gflink/internal")).
+func Under(prefix string) func(string) bool {
+	return func(path string) bool {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+}
+
+// Except wraps a predicate, excluding the exact packages given.
+func Except(pred func(string) bool, paths ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range paths {
+			if path == p {
+				return false
+			}
+		}
+		return pred == nil || pred(path)
+	}
+}
+
+// Run loads every package matched by patterns (test files included) and
+// applies each rule whose predicate admits the package. Findings come
+// back sorted by position for deterministic output.
+func Run(l *Loader, patterns []string, rules []Rule) ([]Finding, error) {
+	targets, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, t := range targets {
+		dir, importPath := t[0], t[1]
+		var active []Rule
+		for _, r := range rules {
+			if r.Applies == nil || r.Applies(importPath) {
+				active = append(active, r)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		pkg, err := l.Load(dir, importPath, true)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := RunAnalyzers(pkg, active)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunAnalyzers applies the given rules' analyzers to one loaded package.
+func RunAnalyzers(pkg *Package, rules []Rule) ([]Finding, error) {
+	var findings []Finding
+	for _, r := range rules {
+		a := r.Analyzer
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,195 @@
+// Package lockhold flags calls to blocking vclock primitives made while
+// a sync.Mutex (or sync.RWMutex) is held.
+//
+// This is the one deadlock class the race detector and `go test -race`
+// cannot see: under the virtual clock, a process that blocks on
+// Queue.Get / Semaphore.Acquire / Clock.Sleep while holding a mutex
+// prevents the process that would wake it from ever taking that mutex
+// — but because the clock serializes execution, the schedule that
+// triggers it may never occur on the test machine while occurring
+// deterministically on another. GStreamManager and GMemoryManager are
+// written to release mu before touching any blocking primitive; this
+// analyzer keeps it that way.
+//
+// The analysis is intraprocedural and syntactic: within one function
+// body it tracks mutexes between X.Lock() and X.Unlock() (matched by
+// the receiver's expression text) in source order, treating a deferred
+// Unlock as holding the lock to function exit. Function literals get a
+// fresh lock state: their bodies run on other processes (clock.Go) or
+// after the lock is released, and charging them with the enclosing
+// lock set would flag the common worker-spawn idiom.
+package lockhold
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gflink/internal/analysis"
+)
+
+// Analyzer implements the lockhold check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flag blocking vclock primitives (Queue.Get, Semaphore.Acquire, Clock.Sleep, Event.Wait, ...) called while a sync mutex is held",
+	Run:  run,
+}
+
+// blocking maps package path -> receiver type name -> methods that can
+// park the calling process on the virtual clock.
+var blocking = map[string]map[string]map[string]bool{
+	"gflink/internal/vclock": {
+		"Clock":     {"Sleep": true, "Run": true},
+		"Queue":     {"Get": true},
+		"Semaphore": {"Acquire": true, "Use": true},
+		"Event":     {"Wait": true},
+		"Group":     {"Wait": true},
+	},
+	// HBuffer.Pin charges the page-registration cost with Clock.Sleep,
+	// so it is transitively blocking.
+	"gflink/internal/membuf": {
+		"HBuffer": {"Pin": true},
+	},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level function literals (package var initializers).
+				checkBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody scans one function body in source order, tracking the set
+// of held mutexes and reporting blocking calls made under any of them.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := make(map[string]ast.Node) // receiver text -> Lock call
+	order := []string{}               // acquisition order for stable messages
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock to function exit; any
+			// other deferred call is scanned for nested literals only.
+			if _, _, ok := mutexOp(pass, n.Call); ok {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if recv, op, ok := mutexOp(pass, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					if _, dup := held[recv]; !dup {
+						held[recv] = n
+						order = append(order, recv)
+					}
+				case "Unlock", "RUnlock":
+					if _, ok := held[recv]; ok {
+						delete(held, recv)
+						for i, r := range order {
+							if r == recv {
+								order = append(order[:i], order[i+1:]...)
+								break
+							}
+						}
+					}
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if desc, ok := blockingCall(pass, n); ok {
+					recv := order[len(order)-1]
+					pass.Reportf(n.Pos(), "%s may block the virtual clock while %s is held (locked at line %d); release the mutex before calling blocking vclock primitives", desc, recv, pass.Position(held[recv].Pos()).Line)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether call is a Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver's expression text
+// and the method name.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn := calleeFunc(pass, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// blockingCall reports whether call parks the process on the virtual
+// clock, returning a printable description of the callee.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass, sel)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	byType, ok := blocking[fn.Pkg().Path()]
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	named := namedRecv(sig.Recv().Type())
+	if named == nil {
+		return "", false
+	}
+	if byType[named.Obj().Name()][fn.Name()] {
+		return "(" + fn.Pkg().Name() + "." + named.Obj().Name() + ")." + fn.Name(), true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the method a selector call binds to.
+func calleeFunc(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	// Package-qualified call (pkg.Func) or method expression.
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// namedRecv unwraps a receiver type to its named type.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockhold.Analyzer, "lockhold")
+}

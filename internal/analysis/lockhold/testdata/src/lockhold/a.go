@@ -1,0 +1,79 @@
+// Fixture for the lockhold analyzer: blocking vclock primitives under a
+// held sync.Mutex are flagged; the same calls after Unlock, or inside a
+// spawned function literal, are not.
+package lockhold
+
+import (
+	"sync"
+
+	"gflink/internal/membuf"
+	"gflink/internal/vclock"
+)
+
+type mgr struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	clk *vclock.Clock
+	q   *vclock.Queue[int]
+	sem *vclock.Semaphore
+	ev  *vclock.Event
+}
+
+func (m *mgr) badQueue() {
+	m.mu.Lock()
+	m.q.Get() // want `\(vclock\.Queue\)\.Get may block the virtual clock while m\.mu is held`
+	m.mu.Unlock()
+}
+
+func (m *mgr) badDeferredUnlock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sem.Acquire(1) // want `\(vclock\.Semaphore\)\.Acquire may block`
+}
+
+func (m *mgr) badSleep() {
+	m.mu.Lock()
+	m.clk.Sleep(5) // want `\(vclock\.Clock\)\.Sleep may block`
+	m.mu.Unlock()
+}
+
+func (m *mgr) badRLock() {
+	m.rw.RLock()
+	m.ev.Wait() // want `\(vclock\.Event\)\.Wait may block`
+	m.rw.RUnlock()
+}
+
+func (m *mgr) badPin(b *membuf.HBuffer) {
+	m.mu.Lock()
+	b.Pin() // want `\(membuf\.HBuffer\)\.Pin may block`
+	m.mu.Unlock()
+}
+
+func (m *mgr) goodAfterUnlock() {
+	m.mu.Lock()
+	n := m.q.Len()
+	m.mu.Unlock()
+	if n == 0 {
+		m.q.Get()
+	}
+	m.sem.Acquire(1)
+	m.clk.Sleep(5)
+}
+
+func (m *mgr) goodSpawned() {
+	m.mu.Lock()
+	m.clk.Go("worker", func() {
+		m.q.Get() // runs as its own process, not under the caller's lock
+	})
+	m.mu.Unlock()
+}
+
+func (m *mgr) goodNonBlockingUnderLock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.q.TryGet(); ok {
+		_ = v
+	}
+	m.sem.Release(1)
+	m.ev.Set()
+}

@@ -1,0 +1,42 @@
+// Package suite assembles the gflink-vet analyzer suite and its
+// package-scoping rules, shared by cmd/gflink-vet and the self-check
+// test that keeps the repository clean.
+package suite
+
+import (
+	"gflink/internal/analysis"
+	"gflink/internal/analysis/buflifecycle"
+	"gflink/internal/analysis/clockgo"
+	"gflink/internal/analysis/lockhold"
+	"gflink/internal/analysis/wallclock"
+)
+
+// Rules returns the production analyzer suite.
+//
+//   - wallclock and clockgo guard every simulator package under
+//     gflink/internal (the public API and examples only assemble
+//     configurations, but the internal packages are where virtual time
+//     lives).
+//   - lockhold is exempt in internal/vclock itself: the primitives'
+//     implementation necessarily manipulates the clock's own mutex
+//     around the park/wake protocol.
+//   - buflifecycle runs module-wide except internal/membuf, which
+//     constructs and destroys HBuffers by definition.
+func Rules() []analysis.Rule {
+	internal := analysis.Under("gflink/internal")
+	return []analysis.Rule{
+		{Analyzer: wallclock.Analyzer, Applies: internal},
+		{Analyzer: clockgo.Analyzer, Applies: internal},
+		{Analyzer: lockhold.Analyzer, Applies: analysis.Except(internal, "gflink/internal/vclock")},
+		{Analyzer: buflifecycle.Analyzer, Applies: analysis.Except(nil, "gflink/internal/membuf")},
+	}
+}
+
+// Analyzers returns the suite's analyzers in rule order.
+func Analyzers() []*analysis.Analyzer {
+	var as []*analysis.Analyzer
+	for _, r := range Rules() {
+		as = append(as, r.Analyzer)
+	}
+	return as
+}

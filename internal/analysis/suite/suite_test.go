@@ -1,0 +1,45 @@
+package suite_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis"
+	"gflink/internal/analysis/suite"
+)
+
+// TestSuiteHasFourAnalyzers pins the suite's composition: the four
+// invariants of DESIGN.md "Concurrency & lifetime invariants".
+func TestSuiteHasFourAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range suite.Analyzers() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"wallclock", "clockgo", "lockhold", "buflifecycle"} {
+		if !names[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+	if len(names) != 4 {
+		t.Errorf("suite has %d analyzers, want 4", len(names))
+	}
+}
+
+// TestRepositoryIsClean runs the full gflink-vet suite over the module
+// (test files included), so `go test ./...` fails the moment a
+// determinism, lock-discipline or buffer-lifecycle violation lands.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short mode")
+	}
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(l, []string{l.ModulePath() + "/..."}, suite.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

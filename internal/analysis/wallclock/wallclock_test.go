@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer, "wallclock")
+}

@@ -103,9 +103,10 @@ func (m *GStreamManager) Devices() int { return len(m.devs) }
 // Memory returns device i's GMemoryManager.
 func (m *GStreamManager) Memory(i int) *GMemoryManager { return m.devs[i].mem }
 
-// Close drains and stops every stream worker. Pending pool work is
-// executed first... precisely: Close must only be called when no more
-// work is outstanding; it panics if the GWork Pool is non-empty.
+// Close stops every stream worker by closing its inbox. Close must
+// only be called once all outstanding work has completed: it panics if
+// any GWork is still queued in the GWork Pool, since work parked there
+// would otherwise be silently dropped.
 func (m *GStreamManager) Close() {
 	m.mu.Lock()
 	for _, ds := range m.devs {

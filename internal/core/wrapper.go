@@ -48,9 +48,12 @@ func (w *CUDAWrapper) Free(d *gpu.Device, b *gpu.Buffer) {
 	d.Free(b)
 }
 
-// HostRegister page-locks a direct buffer (cudaHostRegister).
+// HostRegister page-locks a direct buffer (cudaHostRegister). The pin
+// is released by the buffer's owner: Free unpins implicitly, so the
+// registration lives exactly as long as the buffer.
 func (w *CUDAWrapper) HostRegister(b *membuf.HBuffer) {
 	w.jni()
+	//gflink:owns-buffer -- caller keeps ownership; Free() unpins
 	b.Pin()
 }
 

@@ -129,11 +129,15 @@ func (p *Pool) Stats() Stats {
 // HBuffer is GFlink's direct buffer: raw off-heap bytes with page
 // bookkeeping. The zero value is invalid; obtain HBuffers from a Pool.
 type HBuffer struct {
-	id     int64
-	pool   *Pool
-	data   []byte
-	size   int // requested size
-	pages  int
+	id    int64
+	pool  *Pool
+	data  []byte
+	size  int // requested size
+	pages int
+
+	// pinned and freed are guarded by pool.mu: buffers are handed
+	// between stream workers, so their lifecycle flags must be as
+	// race-free as the pool counters they mirror.
 	pinned bool
 	freed  bool
 }
@@ -159,51 +163,78 @@ func (b *HBuffer) Pages() int { return b.pages }
 // asynchronous DMA. Pinning charges the per-page registration cost on
 // the virtual clock. Pinning a pinned buffer is a no-op.
 func (b *HBuffer) Pin() {
+	p := b.pool
+	p.mu.Lock()
 	if b.freed {
+		p.mu.Unlock()
 		panic("membuf: Pin on freed HBuffer")
 	}
 	if b.pinned {
+		p.mu.Unlock()
 		return
 	}
-	b.pool.clock.Sleep(b.pool.model.Overheads.PinPage * time.Duration(b.pages))
-	b.pool.mu.Lock()
-	b.pinned = true
-	b.pool.pinned += b.pages
-	b.pool.pinOps++
-	b.pool.mu.Unlock()
+	p.mu.Unlock()
+	// Charge registration time before publishing the pin; the clock
+	// must not be blocked on while holding p.mu (lockhold invariant).
+	p.clock.Sleep(p.model.Overheads.PinPage * time.Duration(b.pages))
+	p.mu.Lock()
+	if b.freed {
+		p.mu.Unlock()
+		panic("membuf: Pin on freed HBuffer")
+	}
+	if !b.pinned {
+		b.pinned = true
+		p.pinned += b.pages
+		p.pinOps++
+	}
+	p.mu.Unlock()
 }
 
 // Unpin releases the page lock.
 func (b *HBuffer) Unpin() {
-	if !b.pinned {
-		return
+	p := b.pool
+	p.mu.Lock()
+	if b.pinned {
+		b.pinned = false
+		p.pinned -= b.pages
 	}
-	b.pool.mu.Lock()
-	b.pinned = false
-	b.pool.pinned -= b.pages
-	b.pool.mu.Unlock()
+	p.mu.Unlock()
 }
 
 // Pinned reports whether the buffer is page-locked.
-func (b *HBuffer) Pinned() bool { return b.pinned }
+func (b *HBuffer) Pinned() bool {
+	b.pool.mu.Lock()
+	defer b.pool.mu.Unlock()
+	return b.pinned
+}
 
-// Free returns the pages to the pool. Double frees panic: the paper's
-// GMemoryManager owns buffer lifetime exactly once.
+// Free returns the pages to the pool, releasing any page lock first.
+// Double frees panic: the paper's GMemoryManager owns buffer lifetime
+// exactly once.
 func (b *HBuffer) Free() {
+	p := b.pool
+	p.mu.Lock()
 	if b.freed {
+		p.mu.Unlock()
 		panic("membuf: double free of HBuffer")
 	}
-	b.Unpin()
 	b.freed = true
-	b.pool.mu.Lock()
-	b.pool.inUse -= b.pages
-	b.pool.frees++
-	b.pool.mu.Unlock()
+	if b.pinned {
+		b.pinned = false
+		p.pinned -= b.pages
+	}
+	p.inUse -= b.pages
+	p.frees++
+	p.mu.Unlock()
 	b.data = nil
 }
 
 // Freed reports whether the buffer was released.
-func (b *HBuffer) Freed() bool { return b.freed }
+func (b *HBuffer) Freed() bool {
+	b.pool.mu.Lock()
+	defer b.pool.mu.Unlock()
+	return b.freed
+}
 
 // ElemsPerPage returns how many elements of the given stride fit in one
 // page under the no-straddling rule (Section 5.1: "the content of a

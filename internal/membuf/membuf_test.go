@@ -161,6 +161,37 @@ func TestPoolAccountingProperty(t *testing.T) {
 	}
 }
 
+// Buffers are shared across stream workers, so the lifecycle flags must
+// be synchronized: this test hammers Pin/Unpin/Pinned/Freed from
+// concurrent vclock processes and relies on `go test -race` to catch
+// unguarded access to HBuffer.pinned/HBuffer.freed.
+func TestConcurrentLifecycleFlagAccess(t *testing.T) {
+	c, p := newPool(Config{PageSize: 1024})
+	c.Run(func() {
+		b := p.MustAllocate(4 * 1024)
+		g := vclock.NewGroup(c)
+		for i := 0; i < 4; i++ {
+			g.Go("worker", func() {
+				for j := 0; j < 50; j++ {
+					b.Pin()
+					_ = b.Pinned()
+					_ = b.Freed()
+					b.Unpin()
+					c.Sleep(1)
+				}
+			})
+		}
+		g.Wait()
+		b.Free()
+		if !b.Freed() || b.Pinned() {
+			t.Error("flags inconsistent after free")
+		}
+	})
+	if s := p.Stats(); s.InUsePages != 0 || s.PinnedPages != 0 {
+		t.Errorf("pool not drained: %+v", s)
+	}
+}
+
 // Property: distinct live buffers never share an ID.
 func TestBufferIDUniqueness(t *testing.T) {
 	c, p := newPool(Config{})
