@@ -12,8 +12,8 @@ race:
 	$(GO) test -race ./internal/...
 
 # go vet's standard checks plus the repo's own analyzer suite
-# (wallclock, clockgo, lockhold, buflifecycle — see DESIGN.md
-# "Concurrency & lifetime invariants").
+# (wallclock, clockgo, maporder, lockhold, lockorder, buflifecycle,
+# bufescape — see DESIGN.md "Concurrency & lifetime invariants").
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/gflink-vet ./...

@@ -1,7 +1,7 @@
 // Command gflink-vet runs the repository's custom static analyzers
-// (wallclock, clockgo, lockhold, buflifecycle) over the module. See
-// DESIGN.md "Concurrency & lifetime invariants" for what each enforces
-// and why `go test -race` cannot.
+// (wallclock, clockgo, maporder, lockhold, lockorder, buflifecycle,
+// bufescape) over the module. See DESIGN.md "Concurrency & lifetime
+// invariants" for what each enforces and why `go test -race` cannot.
 //
 // Usage:
 //
@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -24,6 +25,11 @@ import (
 	"gflink/internal/analysis/suite"
 )
 
+// jsonOutput selects the machine-readable diagnostic format (-json):
+// one JSON object per line on stdout, consumed by CI to turn findings
+// into source-anchored annotations.
+var jsonOutput bool
+
 func main() {
 	args := os.Args[1:]
 	// `go vet` probes the tool's identity with -V=full and its flag
@@ -31,33 +37,69 @@ func main() {
 	for _, a := range args {
 		switch a {
 		case "-V=full", "-V":
-			fmt.Printf("gflink-vet version gflink-vet-1\n")
+			fmt.Printf("gflink-vet version gflink-vet-2\n")
 			return
 		case "-flags":
 			fmt.Println("[]")
 			return
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		runVetTool(args[0]) // go vet -vettool mode
+	var pkgs []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOutput = true
+			continue
+		}
+		pkgs = append(pkgs, a)
+	}
+	if len(pkgs) == 1 && strings.HasSuffix(pkgs[0], ".cfg") {
+		runVetTool(pkgs[0]) // go vet -vettool mode
 		return
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
 	}
 	l, err := analysis.NewLoader(".")
 	if err != nil {
 		fail(err)
 	}
-	findings, err := analysis.Run(l, args, suite.Rules())
+	findings, err := analysis.Run(l, pkgs, suite.Rules())
 	if err != nil {
 		fail(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
-	}
+	report(findings)
 	if len(findings) > 0 {
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the -json wire format: one diagnostic per line.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report prints findings in the selected format: human-readable to
+// stderr by default, newline-delimited JSON to stdout under -json.
+func report(findings []analysis.Finding) {
+	if !jsonOutput {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		enc.Encode(jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
 	}
 }
 

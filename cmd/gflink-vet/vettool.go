@@ -25,6 +25,11 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	// PackageVetx maps each dependency's import path to the facts file
+	// its own vet invocation wrote; VetxOutput is where this unit's
+	// facts go. Facts are re-exported transitively, so direct imports
+	// suffice.
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
@@ -32,7 +37,8 @@ type vetConfig struct {
 }
 
 // runVetTool analyzes one compilation unit described by cfgFile,
-// resolving imports through the export data the go command prepared.
+// resolving imports through the export data the go command prepared and
+// cross-package analysis facts through the dependencies' vetx files.
 func runVetTool(cfgFile string) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -42,23 +48,32 @@ func runVetTool(cfgFile string) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fail(fmt.Errorf("parsing vet config %s: %w", cfgFile, err))
 	}
-	// The go command requires a facts file even though this suite
-	// exports no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("gflink-vet: no facts\n"), 0o666); err != nil {
-			fail(err)
-		}
-	}
-	if cfg.VetxOnly {
-		return
-	}
 	var active []analysis.Rule
 	for _, r := range suite.Rules() {
 		if r.Applies == nil || r.Applies(cfg.ImportPath) {
 			active = append(active, r)
 		}
 	}
+	store := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // dependency exported no facts
+		}
+		if err := store.Decode(data); err != nil {
+			fail(err)
+		}
+	}
+	writeFacts := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		if err := os.WriteFile(cfg.VetxOutput, store.Encode(), 0o666); err != nil {
+			fail(err)
+		}
+	}
 	if len(active) == 0 {
+		writeFacts() // propagate dependency facts even when exempt
 		return
 	}
 
@@ -68,6 +83,7 @@ func runVetTool(cfgFile string) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			typecheckFail(cfg, err)
+			writeFacts()
 			return
 		}
 		files = append(files, f)
@@ -98,6 +114,7 @@ func runVetTool(cfgFile string) {
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		typecheckFail(cfg, err)
+		writeFacts()
 		return
 	}
 	pkg := &analysis.Package{
@@ -108,13 +125,15 @@ func runVetTool(cfgFile string) {
 		Types:      tpkg,
 		Info:       info,
 	}
-	findings, err := analysis.RunAnalyzers(pkg, active)
+	findings, err := analysis.RunAnalyzers(pkg, active, store)
 	if err != nil {
 		fail(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	writeFacts()
+	if cfg.VetxOnly {
+		return // facts-only pass; diagnostics belong to the display pass
 	}
+	report(findings)
 	if len(findings) > 0 {
 		os.Exit(1)
 	}

@@ -36,6 +36,14 @@ type Analyzer struct {
 	// diagnostics via pass.Report/Reportf. The result value is unused
 	// by this driver (kept for x/tools API compatibility).
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the fact types the analyzer exports and imports
+	// (see facts.go). A non-empty FactTypes marks the analyzer as
+	// interprocedural: the driver then runs it over module-internal
+	// dependencies of the requested packages too (facts only, no
+	// diagnostics) so cross-package facts are available when dependents
+	// are analyzed.
+	FactTypes []Fact
 }
 
 // Pass provides one analyzed package to an Analyzer's Run function.
@@ -49,6 +57,11 @@ type Pass struct {
 
 	// Report emits one finding.
 	Report func(Diagnostic)
+
+	// facts is the run-wide store backing the
+	// Export/ImportObjectFact and Export/ImportPackageFact methods;
+	// nil when the driver runs without fact support.
+	facts *FactStore
 }
 
 // Diagnostic is one finding at a source position.

@@ -43,6 +43,10 @@ func TestData() string {
 
 // Run loads each fixture package from testdata/src and applies the
 // analyzer, reporting expectation mismatches through t.
+//
+// All packages of one call share a fact store, analyzed in the order
+// given: list dependency fixtures before the packages that import
+// them, and facts flow between them exactly as in a driver run.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	l, err := analysis.NewLoader(testdata)
@@ -50,6 +54,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		t.Fatal(err)
 	}
 	l.ExtraSrcDirs = []string{filepath.Join(testdata, "src")}
+	store := analysis.NewFactStore()
 	for _, pkgPath := range pkgs {
 		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
 		pkg, err := l.Load(dir, pkgPath, false)
@@ -57,7 +62,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("loading fixture %s: %v", pkgPath, err)
 			continue
 		}
-		findings, err := analysis.RunAnalyzers(pkg, []analysis.Rule{{Analyzer: a}})
+		findings, err := analysis.RunAnalyzers(pkg, []analysis.Rule{{Analyzer: a}}, store)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
 			continue

@@ -1,0 +1,14 @@
+package bufescape_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/bufescape"
+)
+
+func TestBufEscape(t *testing.T) {
+	// dep is listed first so its Retains facts are in the store when
+	// the bufescape fixture (which imports it) is analyzed.
+	analysistest.Run(t, analysistest.TestData(), bufescape.Analyzer, "bufescape/dep", "bufescape")
+}

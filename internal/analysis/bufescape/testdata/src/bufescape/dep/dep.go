@@ -1,0 +1,28 @@
+// Package dep provides helpers whose argument retention is visible to
+// importers only through exported Retains facts.
+package dep
+
+// Cache retains every slice handed to Put.
+type Cache struct {
+	entries [][]byte
+}
+
+// Put stores p; its parameter is retained.
+func (c *Cache) Put(p []byte) {
+	c.entries = append(c.entries, p)
+}
+
+// PutIndirect retains p by delegating to Put, exercising the
+// retention fixpoint across call chains.
+func (c *Cache) PutIndirect(p []byte) {
+	c.Put(p)
+}
+
+// Sum only reads p; not retained.
+func Sum(p []byte) int {
+	n := 0
+	for _, b := range p {
+		n += int(b)
+	}
+	return n
+}

@@ -252,6 +252,21 @@ func (l *Loader) Expand(patterns []string) ([][2]string, error) {
 	return out, nil
 }
 
+// DirFor maps a module-internal import path to the directory holding
+// its sources, reporting whether the path belongs to this module and
+// the directory contains Go files.
+func (l *Loader) DirFor(path string) (string, bool) {
+	if path != l.modulePath && !strings.HasPrefix(path, l.modulePath+"/") {
+		return "", false
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+	if !hasGoFiles(dir) {
+		return "", false
+	}
+	return dir, true
+}
+
 // importPathFor maps a directory inside the module to its import path.
 func (l *Loader) importPathFor(dir string) (string, error) {
 	rel, err := filepath.Rel(l.moduleRoot, dir)

@@ -1,0 +1,402 @@
+// Package lockorder builds a whole-program lock-acquisition graph and
+// reports cycles — the classic ABBA deadlock that `go test -race`
+// only catches if the fatal interleaving happens to run.
+//
+// Locks are identified structurally, not by instance: a mutex field is
+// "pkgpath.Type.field", a package-level mutex is "pkgpath.var", and a
+// type that embeds its mutex is "pkgpath.Type". Within one function the
+// analyzer tracks the held set in source order (deferred Unlocks hold
+// to exit, function literals start fresh — they run on other vclock
+// processes); acquiring L2 while holding L1 records the edge L1 → L2.
+// Calls made under a held lock contribute edges to everything the
+// callee may transitively acquire: each function's transitive acquire
+// set is computed over the package call graph and exported as a LockSet
+// object fact, and each package's accumulated edges are exported as a
+// LockGraph package fact, so the graph spans membuf, core and flink no
+// matter which package introduces the ordering.
+//
+// A cycle is reported at every *locally introduced* edge that
+// participates in it (the packages that merely established the opposite
+// order stay silent — their order is, by construction, the consistent
+// one at the time they were analyzed). Because lock identity conflates
+// instances of a type, an edge from a lock to itself (two instances
+// locked in sequence) is ignored. Acquisitions whose ordering is
+// justified — e.g. provably distinct instances ordered by address — are
+// annotated //gflink:lock-order with a justification.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gflink/internal/analysis"
+)
+
+// LockSet is an object fact: the set of lock IDs a function may
+// acquire, directly or through any chain of static calls.
+type LockSet struct {
+	Locks []string
+}
+
+// AFact marks LockSet as a fact type.
+func (*LockSet) AFact() {}
+
+// LockGraph is a package fact: every acquired-while-holding edge known
+// once this package is analyzed, its own and (cumulatively) its
+// dependencies'. Pos is "file:line" of the acquisition that introduced
+// the edge, for cross-package diagnostics.
+type LockGraph struct {
+	Edges []LockEdge
+}
+
+// AFact marks LockGraph as a fact type.
+func (*LockGraph) AFact() {}
+
+// LockEdge records that To was acquired while From was held.
+type LockEdge struct {
+	From string
+	To   string
+	Pos  string
+}
+
+// Analyzer implements the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "build the whole-program lock-acquisition graph across packages and report cycles (potential ABBA deadlocks); suppress one edge with //gflink:lock-order",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*LockSet)(nil), (*LockGraph)(nil)},
+}
+
+// localEdge is an edge introduced by the package under analysis, with a
+// real position for reporting.
+type localEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := analysis.BuildCallGraph(pass)
+
+	// Transitive acquire set per declared function: direct acquisitions
+	// seeded from the body, closed over the package call graph, with
+	// cross-package callees resolved through LockSet facts.
+	acquires := g.Fixpoint(
+		func(fi *analysis.FuncInfo) []string {
+			return directAcquires(pass, fi.Decl.Body)
+		},
+		func(callee *types.Func) []string {
+			var fact LockSet
+			if pass.ImportObjectFact(callee, &fact) {
+				return fact.Locks
+			}
+			return nil
+		},
+	)
+	for _, fi := range g.Decls {
+		if set := acquires[fi.Obj]; len(set) > 0 {
+			pass.ExportObjectFact(fi.Obj, &LockSet{Locks: set})
+		}
+	}
+
+	calleeAcquires := func(fn *types.Func) []string {
+		if set, ok := acquires[fn]; ok {
+			return set
+		}
+		var fact LockSet
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Locks
+		}
+		return nil
+	}
+
+	// Collect this package's own edges, in source order.
+	var local []localEdge
+	suppressed := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		idx := analysis.DirectiveIndex(pass.Fset, f)
+		start := len(local)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					collectEdges(pass, n.Body, calleeAcquires, &local)
+				}
+				return false
+			case *ast.FuncLit:
+				collectEdges(pass, n.Body, calleeAcquires, &local)
+				return false
+			}
+			return true
+		})
+		for _, e := range local[start:] {
+			if analysis.DirectiveAt(idx, pass.Fset, "lock-order", e.pos) {
+				suppressed[e.pos] = true
+			}
+		}
+	}
+
+	// Union: edges inherited from direct imports (each dependency's
+	// graph is already cumulative) plus this package's own.
+	merged := make(map[LockEdge]bool)
+	var depPaths []string
+	for _, imp := range pass.Pkg.Imports() {
+		depPaths = append(depPaths, imp.Path())
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		var fact LockGraph
+		if pass.ImportPackageFact(path, &fact) {
+			for _, e := range fact.Edges {
+				merged[e] = true
+			}
+		}
+	}
+	adj := make(map[string]map[string]bool) // from -> to set
+	addAdj := func(from, to string) {
+		if adj[from] == nil {
+			adj[from] = make(map[string]bool)
+		}
+		adj[from][to] = true
+	}
+	for e := range merged {
+		addAdj(e.From, e.To)
+	}
+	for _, e := range local {
+		addAdj(e.from, e.to)
+		pos := pass.Position(e.pos)
+		merged[LockEdge{From: e.from, To: e.to, Pos: pos.Filename + ":" + strconv.Itoa(pos.Line)}] = true
+	}
+
+	// Export the cumulative graph (sorted for byte-stable facts).
+	out := make([]LockEdge, 0, len(merged))
+	for e := range merged {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Pos < b.Pos
+	})
+	if len(out) > 0 {
+		pass.ExportPackageFact(&LockGraph{Edges: out})
+	}
+
+	// Report every locally introduced edge that closes a cycle.
+	for _, e := range local {
+		if e.from == e.to || suppressed[e.pos] {
+			continue
+		}
+		if path := pathBetween(adj, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			pass.Reportf(e.pos, "lock order cycle %s: %s is acquired here while %s is held, but the reverse order exists elsewhere in the program; acquire locks in one global order or annotate //gflink:lock-order with a justification",
+				strings.Join(cycle, " -> "), e.to, e.from)
+		}
+	}
+	return nil, nil
+}
+
+// directAcquires returns the sorted set of lock IDs Lock/RLock'd
+// anywhere in body, function literals included (whichever process runs
+// them, the acquisition is attributable to calling this function).
+func directAcquires(pass *analysis.Pass, body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, op, ok := mutexOp(pass, call); ok && (op == "Lock" || op == "RLock") {
+			seen[id] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectEdges walks one function body in source order tracking the
+// held set, recording an edge for every acquisition and every
+// transitive acquisition (via static calls) made under a held lock.
+func collectEdges(pass *analysis.Pass, body *ast.BlockStmt, calleeAcquires func(*types.Func) []string, edges *[]localEdge) {
+	held := []string{} // acquisition order
+	isHeld := func(id string) bool {
+		for _, h := range held {
+			if h == id {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Fresh held set: literals run on other vclock processes or
+			// after the enclosing lock is released (same stance as
+			// lockhold); their own acquisitions still produce edges.
+			collectEdges(pass, n.Body, calleeAcquires, edges)
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock to function exit.
+			if _, _, ok := mutexOp(pass, n.Call); ok {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if id, op, ok := mutexOp(pass, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					if id != "" {
+						for _, h := range held {
+							// h == id is two instances of one structural
+							// lock; identity conflation makes any order
+							// claim meaningless, so no edge.
+							if h != id {
+								*edges = append(*edges, localEdge{from: h, to: id, pos: n.Pos()})
+							}
+						}
+						if !isHeld(id) {
+							held = append(held, id)
+						}
+					}
+				case "Unlock", "RUnlock":
+					for i, h := range held {
+						if h == id {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			callee := analysis.StaticCallee(pass.TypesInfo, n)
+			if callee == nil {
+				return true
+			}
+			for _, to := range calleeAcquires(callee) {
+				for _, h := range held {
+					if h != to {
+						*edges = append(*edges, localEdge{from: h, to: to, pos: n.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether call is Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the structural lock ID ("" when
+// the lock is a local and therefore unordered by construction).
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (id, op string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	var fn *types.Func
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		fn, _ = s.Obj().(*types.Func)
+	} else if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+		fn = f
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return lockID(pass, sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// lockID names a lock structurally: "pkg.Type.field" for mutex fields,
+// "pkg.var" for package-level mutexes, "pkg.Type" for types embedding
+// their mutex. Local mutexes get "" — they cannot participate in a
+// cross-function ordering.
+func lockID(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok {
+			fld, ok := s.Obj().(*types.Var)
+			if !ok {
+				return ""
+			}
+			if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fld.Name()
+			}
+			return ""
+		}
+		// Package-qualified global: pkg.mu.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// Receiver or local whose type embeds its mutex.
+		if named := namedOf(v.Type()); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// pathBetween returns a lock-ID path from a to b over adj (inclusive of
+// both endpoints), or nil if b is unreachable. BFS in sorted neighbor
+// order keeps diagnostics deterministic.
+func pathBetween(adj map[string]map[string]bool, a, b string) []string {
+	type queued struct {
+		id   string
+		path []string
+	}
+	queue := []queued{{id: a, path: []string{a}}}
+	visited := map[string]bool{a: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.id == b {
+			return cur.path
+		}
+		next := make([]string, 0, len(adj[cur.id]))
+		for n := range adj[cur.id] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if !visited[n] {
+				visited[n] = true
+				queue = append(queue, queued{id: n, path: append(append([]string(nil), cur.path...), n)})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// dep is listed first so its LockSet/LockGraph facts are in the
+	// store when the lockorder fixture (which imports it) is analyzed.
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "lockorder/dep", "lockorder")
+}

@@ -1,0 +1,86 @@
+package lockorder
+
+import "sync"
+
+// --- in-package ABBA cycle; both edges are local, both are reported ---
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle`
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle`
+	a.mu.Unlock()
+}
+
+// --- consistent order: no cycle ---
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock() // consistent everywhere: allowed
+	d.mu.Unlock()
+}
+
+func cdAgain(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock() // same direction: allowed
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// --- instance conflation: two locks with one structural identity ---
+
+func pair(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.mu.Lock() // same structural lock: no order claim, allowed
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+// --- local mutexes cannot participate in an ordering ---
+
+func withLocal(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var mu sync.Mutex
+	mu.Lock() // local mutex: allowed
+	mu.Unlock()
+}
+
+// --- transitive edge through a same-package callee's acquire set ---
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func efDirect(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock() // want `lock order cycle`
+	e.mu.Unlock()
+}
+
+func efViaCall(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockF(f) // want `lock order cycle`
+}

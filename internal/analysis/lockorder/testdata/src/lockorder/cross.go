@@ -1,0 +1,59 @@
+package lockorder
+
+import (
+	"sync"
+
+	"lockorder/dep"
+)
+
+// Package dep established X -> Y; acquiring in the opposite order here
+// closes a cycle that only the imported LockGraph fact can reveal.
+func yxDirect(x *dep.X, y *dep.Y) {
+	y.Mu.Lock()
+	defer y.Mu.Unlock()
+	x.Mu.Lock() // want `lock order cycle`
+	x.Mu.Unlock()
+}
+
+// Same inversion through dep.LockX's exported LockSet fact: the edge
+// Y -> X exists even though no X lock is visible at this call site.
+func yxViaCall(x *dep.X, y *dep.Y) {
+	y.Mu.Lock()
+	defer y.Mu.Unlock()
+	dep.LockX(x) // want `lock order cycle`
+}
+
+// Repeating an imported order (dep acquires P before Q, and nothing
+// anywhere inverts it) is fine.
+func pqConsistent(p *dep.P, q *dep.Q) {
+	p.Mu.Lock()
+	defer p.Mu.Unlock()
+	q.Mu.Lock() // matches dep's order: allowed
+	q.Mu.Unlock()
+}
+
+// A justified inversion is silenced per site.
+func yxJustified(x *dep.X, y *dep.Y) {
+	y.Mu.Lock()
+	defer y.Mu.Unlock()
+	x.Mu.Lock() //gflink:lock-order -- x is freshly constructed and unshared here
+	x.Mu.Unlock()
+}
+
+// Z pairs with dep.X across packages in both directions via function
+// literals, which track a fresh held set but still contribute edges.
+type Z struct{ mu sync.Mutex }
+
+func litEdges(x *dep.X, z *Z) {
+	f := func() {
+		z.mu.Lock()
+		defer z.mu.Unlock()
+		x.Mu.Lock() // want `lock order cycle`
+		x.Mu.Unlock()
+	}
+	x.Mu.Lock()
+	defer x.Mu.Unlock()
+	z.mu.Lock() // want `lock order cycle`
+	z.mu.Unlock()
+	f()
+}

@@ -1,0 +1,42 @@
+// Package dep establishes a lock order (X before Y) that importers can
+// only learn through exported LockGraph and LockSet facts.
+package dep
+
+import "sync"
+
+// X is always acquired before Y within this package.
+type X struct{ Mu sync.Mutex }
+
+// Y is the inner lock of the X -> Y order.
+type Y struct{ Mu sync.Mutex }
+
+// XY establishes the edge X -> Y. Consistent here: no cycle exists
+// when this package is analyzed on its own.
+func XY(x *X, y *Y) {
+	x.Mu.Lock()
+	defer x.Mu.Unlock()
+	y.Mu.Lock()
+	y.Mu.Unlock()
+}
+
+// LockX acquires X; callers holding another lock inherit the edge
+// through this function's LockSet fact.
+func LockX(x *X) {
+	x.Mu.Lock()
+	x.Mu.Unlock()
+}
+
+// P is always acquired before Q; unlike X/Y this order is never
+// inverted anywhere, so importers repeating it stay silent.
+type P struct{ Mu sync.Mutex }
+
+// Q is the inner lock of the P -> Q order.
+type Q struct{ Mu sync.Mutex }
+
+// PQ establishes the edge P -> Q.
+func PQ(p *P, q *Q) {
+	p.Mu.Lock()
+	defer p.Mu.Unlock()
+	q.Mu.Lock()
+	q.Mu.Unlock()
+}

@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	// dep is listed first so its UsesVClock facts are in the store when
+	// the maporder fixture (which imports it) is analyzed.
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "maporder/dep", "maporder")
+}

@@ -1,0 +1,167 @@
+package maporder
+
+import (
+	"sort"
+
+	"gflink/internal/vclock"
+
+	"maporder/dep"
+)
+
+// --- channel sends ---
+
+func sends(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send in map-iteration order`
+	}
+}
+
+func sliceSend(xs []int, ch chan int) {
+	for _, v := range xs {
+		ch <- v // slice order is deterministic: allowed
+	}
+}
+
+func suppressedSend(m map[string]int, ch chan int) {
+	//gflink:unordered -- every entry reaches the channel; the consumer sorts
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// --- appends ---
+
+func appends(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to "keys" in map-iteration order`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: allowed
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func innerAppend(m map[string][]int) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // target lives inside the loop: allowed
+		_ = local
+	}
+}
+
+// --- accumulation ---
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulates float64 into "sum"`
+	}
+	return sum
+}
+
+func stringConcat(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out = out + v // want `accumulates string into "out"`
+	}
+	return out
+}
+
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition is associative and commutative: allowed
+	}
+	return n
+}
+
+func innerAccum(m map[string][]float64) float64 {
+	total := 0.0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v // accumulator lives inside the map loop: allowed
+		}
+		_ = s
+	}
+	return total
+}
+
+// --- virtual-clock calls ---
+
+func clockDirect(m map[string]int, c *vclock.Clock) {
+	for range m {
+		c.Sleep(1) // want `\(vclock\.Clock\)\.Sleep may observe or advance the virtual clock`
+	}
+}
+
+func tickLocal(c *vclock.Clock) {
+	c.Sleep(1)
+}
+
+func clockTransitive(m map[string]int, c *vclock.Clock) {
+	for range m {
+		tickLocal(c) // want `maporder\.tickLocal may observe or advance the virtual clock`
+	}
+}
+
+func clockCrossPackage(m map[string]int, c *vclock.Clock) {
+	for range m {
+		dep.Tick(c) // want `dep\.Tick may observe or advance the virtual clock`
+	}
+}
+
+func clockCrossPackageTransitive(m map[string]int, c *vclock.Clock) {
+	for range m {
+		dep.TickIndirect(c) // want `dep\.TickIndirect may observe or advance the virtual clock`
+	}
+}
+
+func pureCrossPackage(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += dep.Pure(len(k)) // dep.Pure never reaches the clock: allowed
+	}
+	return n
+}
+
+// --- loop-derived panics and returns ---
+
+func panics(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			panic("negative count for " + k) // want `panics with loop-derived values`
+		}
+	}
+}
+
+func panicsConst(m map[string]int) {
+	for _, v := range m {
+		if v < 0 {
+			panic("negative count") // same message whichever entry trips it: allowed
+		}
+	}
+}
+
+func returnsFirst(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true // want `returns loop-derived values`
+	}
+	return "", false
+}
+
+func returnsFixed(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true // loop-independent value: allowed
+		}
+	}
+	return false
+}

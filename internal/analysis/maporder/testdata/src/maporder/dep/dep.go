@@ -1,0 +1,21 @@
+// Package dep provides helpers whose virtual-clock reach is visible to
+// importers only through exported UsesVClock facts.
+package dep
+
+import "gflink/internal/vclock"
+
+// Tick parks the calling process, advancing the virtual clock.
+func Tick(c *vclock.Clock) {
+	c.Sleep(1)
+}
+
+// TickIndirect reaches the clock through another function in this
+// package, exercising transitive fact export.
+func TickIndirect(c *vclock.Clock) {
+	Tick(c)
+}
+
+// Pure has no clock effect.
+func Pure(x int) int {
+	return x + 1
+}

@@ -5,30 +5,42 @@ package suite
 
 import (
 	"gflink/internal/analysis"
+	"gflink/internal/analysis/bufescape"
 	"gflink/internal/analysis/buflifecycle"
 	"gflink/internal/analysis/clockgo"
 	"gflink/internal/analysis/lockhold"
+	"gflink/internal/analysis/lockorder"
+	"gflink/internal/analysis/maporder"
 	"gflink/internal/analysis/wallclock"
 )
 
 // Rules returns the production analyzer suite.
 //
-//   - wallclock and clockgo guard every simulator package under
-//     gflink/internal (the public API and examples only assemble
+//   - wallclock, clockgo and maporder guard every simulator package
+//     under gflink/internal (the public API and examples only assemble
 //     configurations, but the internal packages are where virtual time
-//     lives).
-//   - lockhold is exempt in internal/vclock itself: the primitives'
-//     implementation necessarily manipulates the clock's own mutex
-//     around the park/wake protocol.
-//   - buflifecycle runs module-wide except internal/membuf, which
-//     constructs and destroys HBuffers by definition.
+//     and result ordering live).
+//   - lockhold and lockorder are exempt in internal/vclock itself: the
+//     primitives' implementation necessarily manipulates the clock's
+//     own mutex around the park/wake protocol, and its ordering is the
+//     scheduler's concern, not the lock graph's.
+//   - buflifecycle and bufescape run module-wide except internal/membuf,
+//     which constructs, destroys, and aliases HBuffer storage by
+//     definition.
+//
+// maporder, lockorder and bufescape carry fact types, so the driver
+// also runs them over module-internal dependencies of the requested
+// packages (facts only) before analyzing the targets.
 func Rules() []analysis.Rule {
 	internal := analysis.Under("gflink/internal")
 	return []analysis.Rule{
 		{Analyzer: wallclock.Analyzer, Applies: internal},
 		{Analyzer: clockgo.Analyzer, Applies: internal},
+		{Analyzer: maporder.Analyzer, Applies: internal},
 		{Analyzer: lockhold.Analyzer, Applies: analysis.Except(internal, "gflink/internal/vclock")},
+		{Analyzer: lockorder.Analyzer, Applies: analysis.Except(nil, "gflink/internal/vclock")},
 		{Analyzer: buflifecycle.Analyzer, Applies: analysis.Except(nil, "gflink/internal/membuf")},
+		{Analyzer: bufescape.Analyzer, Applies: analysis.Except(nil, "gflink/internal/membuf")},
 	}
 }
 

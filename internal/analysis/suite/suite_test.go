@@ -7,20 +7,24 @@ import (
 	"gflink/internal/analysis/suite"
 )
 
-// TestSuiteHasFourAnalyzers pins the suite's composition: the four
+// TestSuiteHasSevenAnalyzers pins the suite's composition: the seven
 // invariants of DESIGN.md "Concurrency & lifetime invariants".
-func TestSuiteHasFourAnalyzers(t *testing.T) {
+func TestSuiteHasSevenAnalyzers(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range suite.Analyzers() {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"wallclock", "clockgo", "lockhold", "buflifecycle"} {
+	for _, want := range []string{
+		"wallclock", "clockgo", "maporder",
+		"lockhold", "lockorder",
+		"buflifecycle", "bufescape",
+	} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
 	}
-	if len(names) != 4 {
-		t.Errorf("suite has %d analyzers, want 4", len(names))
+	if len(names) != 7 {
+		t.Errorf("suite has %d analyzers, want 7", len(names))
 	}
 }
 

@@ -226,7 +226,19 @@ func (m *GMemoryManager) ReleaseJob(jobID int) {
 	if !ok {
 		return
 	}
-	for key, e := range r.entries {
+	keys := make([]CacheKey, 0, len(r.entries))
+	for key := range r.entries {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
+		}
+		return a.Block < b.Block
+	})
+	for _, key := range keys {
+		e := r.entries[key]
 		if e.refs > 0 {
 			panic(fmt.Sprintf("core: ReleaseJob(%d) with pinned cache entry %+v", jobID, key))
 		}

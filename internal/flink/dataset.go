@@ -3,6 +3,7 @@ package flink
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"gflink/internal/costmodel"
 	"gflink/internal/vclock"
@@ -242,6 +243,22 @@ func hashKey[K comparable](k K) uint64 {
 	return h.Sum64()
 }
 
+// sortKeys puts arbitrary comparable keys into a canonical order: by
+// deterministic hash, ties broken by formatted representation. Group-by
+// operators emit in this order so workload results are byte-stable
+// across runs — insertion order would be deterministic too, but would
+// change whenever an upstream operator reorders its output, and the
+// reproduced figures hash entire result sets.
+func sortKeys[K comparable](keys []K) {
+	sort.Slice(keys, func(i, j int) bool {
+		hi, hj := hashKey(keys[i]), hashKey(keys[j])
+		if hi != hj {
+			return hi < hj
+		}
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+}
+
 // shuffleCost charges sender-side serialization and performs the
 // network exchange for a partition-to-partition byte matrix.
 func shuffleExchange(j *Job, fromWorker []int, toWorker []int, bytes [][]int64) {
@@ -286,6 +303,7 @@ func ReduceByKey[T any, K comparable](d *Dataset[T], name string, perRec costmod
 				order = append(order, k)
 			}
 		}
+		sortKeys(order)
 		byTarget := make([][]T, nparts)
 		for _, k := range order {
 			q := int(hashKey(k) % uint64(nparts))
@@ -340,6 +358,7 @@ func ReduceByKey[T any, K comparable](d *Dataset[T], name string, perRec costmod
 				order = append(order, k)
 			}
 		}
+		sortKeys(order)
 		items := make([]T, 0, len(order))
 		for _, k := range order {
 			items = append(items, groups[k])
@@ -404,6 +423,7 @@ func GroupReduce[T any, K comparable, U any](d *Dataset[T], name string, perRec 
 			}
 			groups[k] = append(groups[k], v)
 		}
+		sortKeys(order)
 		items := make([]U, 0, len(order))
 		for _, k := range order {
 			items = append(items, reduce(k, groups[k]))

@@ -109,9 +109,17 @@ func exchangeSide[T any](j *Job, d *Dataset[T], nparts int, nom [][]int64) {
 	shuffleExchange(j, from, to, bytes)
 }
 
+// KeyCount is one result record of CountByKey.
+type KeyCount[K comparable] struct {
+	Key   K
+	Count int64
+}
+
 // CountByKey returns the number of records per key, gathered at the
-// driver (a convenience built on ReduceByKey).
-func CountByKey[T any, K comparable](d *Dataset[T], name string, key func(T) K) map[K]int64 {
+// driver (a convenience built on ReduceByKey). Results come back in
+// canonical key order — returning a map here would push a
+// nondeterministic iteration onto every caller.
+func CountByKey[T any, K comparable](d *Dataset[T], name string, key func(T) K) []KeyCount[K] {
 	type kc struct {
 		K K
 		N int64
@@ -120,9 +128,20 @@ func CountByKey[T any, K comparable](d *Dataset[T], name string, key func(T) K) 
 	reduced := ReduceByKey(pairs, name+":count", costmodel.Work{Flops: 1},
 		func(p kc) K { return p.K },
 		func(x, y kc) kc { return kc{K: x.K, N: x.N + y.N} })
-	out := make(map[K]int64)
-	for _, p := range Collect(reduced) {
-		out[p.K] += p.N
+	collected := Collect(reduced)
+	keys := make([]K, len(collected))
+	byKey := make(map[K]int64, len(collected))
+	for i, p := range collected {
+		keys[i] = p.K
+		byKey[p.K] += p.N
+	}
+	sortKeys(keys)
+	out := make([]KeyCount[K], 0, len(keys))
+	for i, k := range keys {
+		if i > 0 && keys[i-1] == k {
+			continue // duplicate key (counts already merged above)
+		}
+		out = append(out, KeyCount[K]{Key: k, Count: byKey[k]})
 	}
 	return out
 }

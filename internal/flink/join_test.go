@@ -95,8 +95,8 @@ func TestCountByKey(t *testing.T) {
 		ds := Generate(j, "n", 90, 8, 3, func(p int, ord int64) int64 { return ord % 3 })
 		counts := CountByKey(ds, "mod3", func(v int64) int64 { return v })
 		var total int64
-		for _, n := range counts {
-			total += n
+		for _, kc := range counts {
+			total += kc.Count
 		}
 		if total != ds.RealCount() {
 			t.Errorf("counts sum to %d, want %d", total, ds.RealCount())

@@ -44,8 +44,7 @@ func (q *Queue[T]) Close() {
 	defer q.c.mu.Unlock()
 	q.closed = true
 	for _, w := range q.waiters {
-		q.c.unblock("queue")
-		close(w.ch)
+		q.c.ready("queue", w.ch)
 	}
 	q.waiters = nil
 }
@@ -104,8 +103,7 @@ func (q *Queue[T]) wakeOneLocked() {
 	w := q.waiters[0]
 	q.waiters[0] = nil
 	q.waiters = q.waiters[1:]
-	q.c.unblock("queue")
-	close(w.ch)
+	q.c.ready("queue", w.ch)
 }
 
 // Semaphore is a counting semaphore used to model contended hardware
@@ -161,8 +159,7 @@ func (s *Semaphore) Release(n int64) {
 		s.waiters[0] = nil
 		s.waiters = s.waiters[1:]
 		s.free -= w.n
-		s.c.unblock("sem:" + s.name)
-		close(w.ch)
+		s.c.ready("sem:"+s.name, w.ch)
 	}
 }
 
@@ -202,8 +199,7 @@ func (e *Event) Set() {
 	}
 	e.set = true
 	for _, w := range e.waiters {
-		e.c.unblock("event")
-		close(w.ch)
+		e.c.ready("event", w.ch)
 	}
 	e.waiters = nil
 }

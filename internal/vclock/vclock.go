@@ -5,10 +5,14 @@
 // streams, DMA engines, network transfers, disks) runs as an ordinary
 // goroutine registered with a Clock. Such a goroutine is called a
 // process. Processes may block only through the primitives provided by
-// this package (Sleep, Queue, Semaphore, Event, ...). The clock advances
-// to the earliest pending deadline exactly when every registered process
-// is blocked, which makes simulated schedules deterministic and
-// independent of host scheduling, GOMAXPROCS, or wall time.
+// this package (Sleep, Queue, Semaphore, Event, ...). Scheduling is
+// cooperative: exactly one process executes at a time, and when it
+// blocks the kernel hands control to the next ready process in FIFO
+// wake order. The clock advances to the earliest pending deadline
+// exactly when no process is ready, which makes simulated schedules —
+// including the admission order at contended semaphores when several
+// processes wake at the same instant — deterministic and independent of
+// host scheduling, GOMAXPROCS, or wall time.
 //
 // If every process is blocked and no timer is pending, the simulation
 // cannot make progress; the kernel panics with a diagnostic listing the
@@ -29,8 +33,9 @@ import (
 type Clock struct {
 	mu      sync.Mutex
 	now     time.Duration
-	running int // registered processes not currently blocked
-	total   int // registered processes alive
+	running int             // processes currently executing: 0 or 1 once Run starts
+	total   int             // registered processes alive
+	runq    []chan struct{} // ready processes awaiting dispatch, in wake order
 	timers  timerHeap
 	seq     uint64 // tie-break for identical deadlines; preserves FIFO order
 	started bool   // set by Run; no advancement/deadlock checks before it
@@ -60,14 +65,19 @@ func (c *Clock) Now() time.Duration {
 
 // Go spawns fn as a new registered process. It may be called from any
 // goroutine, including non-process goroutines, before or during Run.
+// The new process does not run immediately: it joins the ready queue
+// and is dispatched when the current process blocks or exits, so spawn
+// order — not host scheduling — decides execution order.
 func (c *Clock) Go(name string, fn func()) {
+	ch := make(chan struct{})
 	c.mu.Lock()
-	c.running++
 	c.total++
+	c.runq = append(c.runq, ch)
 	c.mu.Unlock()
 	// The vclock runtime is the one place real goroutines are created:
 	// every simulated process is backed by exactly one, registered with
-	// the census above before it starts.
+	// the census above before it starts. The goroutine parks until the
+	// dispatcher hands it the (single) execution slot.
 	//gflink:allow-go
 	go func() {
 		defer func() {
@@ -81,6 +91,7 @@ func (c *Clock) Go(name string, fn func()) {
 			}
 			c.exit()
 		}()
+		<-ch
 		fn()
 	}()
 }
@@ -93,10 +104,13 @@ func (c *Clock) Go(name string, fn func()) {
 // deployment construction) may block on primitives; the clock neither
 // advances nor declares deadlock until Run starts.
 func (c *Clock) Run(root func()) time.Duration {
+	c.Go("root", root)
 	c.mu.Lock()
 	c.started = true
+	// Kick the dispatcher: processes spawned before Run (including root)
+	// are parked in the ready queue and run from here on, one at a time.
+	c.dispatchLocked()
 	c.mu.Unlock()
-	c.Go("root", root)
 	<-c.done
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -120,7 +134,7 @@ func (c *Clock) exit() {
 		}
 		return
 	}
-	c.maybeAdvanceLocked()
+	c.dispatchLocked()
 	c.mu.Unlock()
 }
 
@@ -141,33 +155,42 @@ func (c *Clock) Sleep(d time.Duration) {
 	<-ch
 }
 
-// block marks the calling process blocked for the given reason and, if
-// that was the last runnable process, advances the clock. Callers must
-// hold c.mu.
+// block marks the calling process blocked for the given reason and
+// hands the execution slot to the next ready process (advancing the
+// clock if none is ready). Callers must hold c.mu and, after releasing
+// it, must park on the channel their wake-up will close.
 func (c *Clock) block(reason string) {
 	c.running--
 	c.blocked[reason]++
-	c.maybeAdvanceLocked()
-	// The caller records its own wake mechanism; unblocking happens in
-	// unblock via the primitive that wakes it.
-	// Decrement of the reason counter happens in unblock.
-	_ = reason
+	c.dispatchLocked()
 }
 
-// unblock marks one process blocked for reason as runnable again.
-// Callers must hold c.mu.
-func (c *Clock) unblock(reason string) {
-	c.running++
+// ready marks one process blocked for reason as ready to run again. It
+// joins the ready queue but does not execute until dispatched — the
+// waker keeps the execution slot until it blocks or exits, and queued
+// wake order is what makes contended admissions deterministic. Callers
+// must hold c.mu.
+func (c *Clock) ready(reason string, ch chan struct{}) {
 	c.blocked[reason]--
 	if c.blocked[reason] == 0 {
 		delete(c.blocked, reason)
 	}
+	c.runq = append(c.runq, ch)
 }
 
-// maybeAdvanceLocked fires due timers if no process is runnable. Callers
-// must hold c.mu.
-func (c *Clock) maybeAdvanceLocked() {
+// dispatchLocked hands the execution slot to the next ready process, or
+// — when none is ready — fires the earliest pending timer. Callers must
+// hold c.mu.
+func (c *Clock) dispatchLocked() {
 	if !c.started || c.running > 0 || c.total == 0 {
+		return
+	}
+	if len(c.runq) > 0 {
+		ch := c.runq[0]
+		c.runq[0] = nil
+		c.runq = c.runq[1:]
+		c.running++
+		close(ch)
 		return
 	}
 	if len(c.timers) == 0 {
@@ -187,15 +210,17 @@ func (c *Clock) maybeAdvanceLocked() {
 		}
 		return
 	}
-	// Fire every timer sharing the earliest deadline, in seq (FIFO)
-	// order.
-	first := c.timers[0]
-	c.now = first.deadline
-	for len(c.timers) > 0 && c.timers[0].deadline == c.now {
-		t := heap.Pop(&c.timers).(*timer)
-		c.unblock("sleep")
-		close(t.ch)
+	// Fire the earliest timer (FIFO by seq at equal deadlines) and run
+	// its process. Co-deadline timers fire one by one as each woken
+	// process blocks again; virtual time holds still in between.
+	t := heap.Pop(&c.timers).(*timer)
+	c.now = t.deadline
+	c.blocked["sleep"]--
+	if c.blocked["sleep"] == 0 {
+		delete(c.blocked, "sleep")
 	}
+	c.running++
+	close(t.ch)
 }
 
 // diagnosticLocked renders the blocked-process census for deadlock

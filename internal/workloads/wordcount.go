@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gflink/internal/core"
@@ -48,11 +49,18 @@ func wcLine(seed uint64, ord int64, lineBytes, vocab int) string {
 	return b.String()
 }
 
-// wcChecksum fingerprints a count table.
+// wcChecksum fingerprints a count table. Slots are summed in sorted
+// order: float addition is not associative, so map order would make the
+// checksum differ between runs of the same binary.
 func wcChecksum(counts map[int]uint32) float64 {
+	slots := make([]int, 0, len(counts))
+	for slot := range counts {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
 	var s float64
-	for slot, c := range counts {
-		s += float64(slot+1) * float64(c)
+	for _, slot := range slots {
+		s += float64(slot+1) * float64(counts[slot])
 	}
 	return s
 }
