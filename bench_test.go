@@ -78,3 +78,4 @@ func BenchmarkAblPipeline(b *testing.B)  { runExperiment(b, "abl-pipeline") }
 func BenchmarkAblLocality(b *testing.B)  { runExperiment(b, "abl-locality") }
 func BenchmarkAblStealing(b *testing.B)  { runExperiment(b, "abl-stealing") }
 func BenchmarkAblBlockSize(b *testing.B) { runExperiment(b, "abl-blocksize") }
+func BenchmarkAblChaining(b *testing.B)  { runExperiment(b, "abl-chaining") }

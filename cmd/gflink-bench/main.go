@@ -27,6 +27,7 @@ func main() {
 		all    = flag.Bool("all", false, "run every experiment")
 		scale  = flag.Int64("scale", 1, "real-data scale divisor multiplier (1 = full fidelity)")
 		mdPath = flag.String("md", "", "also write results as markdown to this file")
+		check  = flag.Bool("check", false, "run each experiment's pinned-shape check and exit nonzero on regression")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	}
 
 	var md strings.Builder
+	var failed bool
 	md.WriteString("# GFlink reproduction results\n\n")
 	for _, id := range ids {
 		e, ok := bench.ByID(strings.TrimSpace(id))
@@ -62,6 +64,19 @@ func main() {
 		t := e.Run(*scale)
 		fmt.Println(t.String())
 		md.WriteString(t.Markdown())
+		if *check {
+			if e.Check == nil {
+				fmt.Printf("check %s: no pinned-shape check\n\n", e.ID)
+			} else if err := e.Check(t); err != nil {
+				fmt.Fprintln(os.Stderr, "check failed:", err)
+				failed = true
+			} else {
+				fmt.Printf("check %s: ok\n\n", e.ID)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {

@@ -1,17 +1,20 @@
 // Quickstart: the PointAdd program of the paper's Algorithm 3.1,
-// written against the public API. It declares a GStruct, builds a GDST,
-// runs the gpuMapPartition operator with a registered kernel, verifies
-// the result, and prints the simulated times — all on a 2-worker
-// cluster with two Tesla C2050s per node.
+// written against the deferred plan API. It declares a GStruct, builds
+// a plan whose source materializes a GDST and whose GPUMap node runs a
+// registered kernel, executes the plan, verifies the result, and
+// prints the simulated times — all on a 2-worker cluster with two
+// Tesla C2050s per node.
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"gflink"
 	"gflink/internal/costmodel"
 	"gflink/internal/gstruct"
 	"gflink/internal/kernels"
+	"gflink/internal/plan"
 )
 
 func main() {
@@ -29,21 +32,29 @@ func main() {
 
 	const points = 100_000_000
 	total := g.Run(func() {
-		job := g.Cluster.NewJob("quickstart")
+		// Build the deferred graph: nothing below touches the virtual
+		// clock until Execute submits the job and materializes the nodes.
+		gr := gflink.NewPlan(g, "quickstart", gflink.PlanOptions{})
 
-		// A GDST of Point3 records: raw bytes in off-heap blocks, ready
-		// for DMA without serialization.
-		ds := gflink.NewGDST(g, job, kernels.Point3Schema, gflink.AoS, points, 0,
-			func(part int, v gstruct.View, i int, ord int64) {
-				v.PutFloat32At(i, 0, 0, float32(ord%100))
-				v.PutFloat32At(i, 1, 0, float32(ord%10))
-				v.PutFloat32At(i, 2, 0, 1)
-			})
+		// Source node: a GDST of Point3 records — raw bytes in off-heap
+		// blocks, ready for DMA without serialization.
+		var ds gflink.GDST
+		src := plan.Source(gr, "points", func(ctx *plan.Ctx) gflink.GDST {
+			ds = gflink.NewGDST(g, ctx.Job, kernels.Point3Schema, gflink.AoS, points, 0,
+				func(part int, v gstruct.View, i int, ord int64) {
+					v.PutFloat32At(i, 0, 0, float32(ord%100))
+					v.PutFloat32At(i, 1, 0, float32(ord%10))
+					v.PutFloat32At(i, 2, 0, 1)
+				})
+			return ds
+		})
 
-		// Submit the cudaAddPoint kernel over every block (Algorithm 3.1's
-		// gpuMapPartition with GWork assembled under the hood).
-		t0 := g.Clock.Now()
-		out := gflink.GPUMapPartition(g, ds, gflink.GPUMapSpec{
+		// Timing probe + GPUMap node: the cudaAddPoint kernel over every
+		// block (Algorithm 3.1's gpuMapPartition with GWork assembled
+		// under the hood) — deferred until Execute.
+		var t0 time.Duration
+		plan.Do(gr, "mark", func(ctx *plan.Ctx) { t0 = g.Clock.Now() })
+		mapped := gflink.PlanGPUMap(src, gflink.GPUMapSpec{
 			Name:      "addPoint",
 			Kernel:    kernels.PointAddKernel,
 			OutSchema: kernels.Point3Schema,
@@ -52,18 +63,22 @@ func main() {
 				kernels.F32Arg(1.5), kernels.F32Arg(-2), kernels.F32Arg(0.25),
 			},
 		})
-		mapTime := g.Clock.Now() - t0
 
-		// Verify: every output point is input + (1.5, -2, 0.25).
-		first := out.Partition(0).Items[0].View()
-		in := ds.Partition(0).Items[0].View()
-		fmt.Printf("point[0]: (%.2f, %.2f, %.2f) -> (%.2f, %.2f, %.2f)\n",
-			in.Float32At(0, 0, 0), in.Float32At(0, 1, 0), in.Float32At(0, 2, 0),
-			first.Float32At(0, 0, 0), first.Float32At(0, 1, 0), first.Float32At(0, 2, 0))
-		fmt.Printf("gpuMapPartition over %dM points (simulated): %v\n", points/1_000_000, mapTime)
+		// Sink node: verify every output point is input + (1.5, -2, 0.25)
+		// and release the blocks.
+		plan.Sink(mapped, "verify", func(ctx *plan.Ctx, out gflink.GDST) {
+			mapTime := g.Clock.Now() - t0
+			first := out.Partition(0).Items[0].View()
+			in := ds.Partition(0).Items[0].View()
+			fmt.Printf("point[0]: (%.2f, %.2f, %.2f) -> (%.2f, %.2f, %.2f)\n",
+				in.Float32At(0, 0, 0), in.Float32At(0, 1, 0), in.Float32At(0, 2, 0),
+				first.Float32At(0, 0, 0), first.Float32At(0, 1, 0), first.Float32At(0, 2, 0))
+			fmt.Printf("gpuMapPartition over %dM points (simulated): %v\n", points/1_000_000, mapTime)
+			gflink.FreeBlocks(out)
+			gflink.FreeBlocks(ds)
+		})
 
-		gflink.FreeBlocks(out)
-		gflink.FreeBlocks(ds)
+		gr.Execute()
 	})
 	fmt.Printf("total simulated job time: %v\n", total)
 }

@@ -36,6 +36,7 @@ import (
 	"gflink/internal/costmodel"
 	"gflink/internal/flink"
 	"gflink/internal/gstruct"
+	"gflink/internal/plan"
 )
 
 // Core GFlink types.
@@ -88,6 +89,43 @@ var (
 	CollectBlocks = core.CollectBlocks
 	// FreeBlocks releases a dead dataset's off-heap buffers.
 	FreeBlocks = core.FreeBlocks
+)
+
+// Deferred dataflow plans (the JobGraph layer). The generic stream
+// operators (plan.Source, plan.Map, plan.Either, ...) cannot be
+// re-exported as values; import gflink/internal/plan directly for
+// those, as the examples do.
+type (
+	// Plan is a deferred job graph: operators append nodes, Execute
+	// materializes them through the chaining and placement passes.
+	Plan = plan.Graph
+	// PlanOptions configure one graph's planning passes.
+	PlanOptions = plan.Options
+	// PlacementMode selects forced or cost-model-driven device placement.
+	PlacementMode = plan.Mode
+)
+
+// Plan constructors and driver-side nodes.
+var (
+	// NewPlan starts an empty deferred job graph.
+	NewPlan = plan.NewGraph
+	// PlanIterate appends a bulk-iteration node.
+	PlanIterate = plan.Iterate
+	// PlanDo appends a driver-side node.
+	PlanDo = plan.Do
+	// PlanEitherDo appends a driver-side CPU-or-GPU node.
+	PlanEitherDo = plan.EitherDo
+	// PlanGPUMap appends a deferred gpuMapPartition node.
+	PlanGPUMap = plan.GPUMap
+	// PlanGPUReduce appends a deferred gpuReducePartition node.
+	PlanGPUReduce = plan.GPUReduce
+)
+
+// Placement modes.
+const (
+	AutoPlace = plan.Auto
+	ForceCPU  = plan.ForceCPU
+	ForceGPU  = plan.ForceGPU
 )
 
 // GStruct schema helpers.

@@ -28,6 +28,19 @@ func TestSuiteHasSevenAnalyzers(t *testing.T) {
 	}
 }
 
+// TestSuiteCoversPlanLayer pins the scoping rules to the deferred plan
+// layer: every one of the seven analyzers must apply to
+// gflink/internal/plan, since the planner's chaining and placement
+// passes sit directly on the determinism and buffer-lifecycle
+// invariants the suite enforces.
+func TestSuiteCoversPlanLayer(t *testing.T) {
+	for _, r := range suite.Rules() {
+		if r.Applies != nil && !r.Applies("gflink/internal/plan") {
+			t.Errorf("analyzer %q does not apply to gflink/internal/plan", r.Analyzer.Name)
+		}
+	}
+}
+
 // TestRepositoryIsClean runs the full gflink-vet suite over the module
 // (test files included), so `go test ./...` fails the moment a
 // determinism, lock-discipline or buffer-lifecycle violation lands.

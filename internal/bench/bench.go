@@ -14,6 +14,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -107,6 +108,10 @@ type Experiment struct {
 	Title string
 	Paper string
 	Run   func(scale int64) *Table
+	// Check validates a rendered table against the experiment's pinned
+	// shape (nil = no machine check). The bench CLI's -check flag runs
+	// it so CI can fail on simulated-time regressions.
+	Check func(t *Table) error
 }
 
 var registry = map[string]*Experiment{}
@@ -137,6 +142,15 @@ func All() []*Experiment {
 
 // secs formats a duration as seconds.
 func secs(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }
+
+// parseSeconds parses a cell secs rendered, for Check functions.
+func parseSeconds(cell string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell %q is not seconds: %w", cell, err)
+	}
+	return v, nil
+}
 
 // ratio formats a speedup.
 func ratio(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -47,6 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig7d",
 		"fig8a", "fig8b", "fig8c", "fig8d", "table2",
 		"abl-layout", "abl-zerocopy", "abl-pipeline", "abl-locality", "abl-stealing", "abl-blocksize",
+		"abl-chaining",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -197,6 +198,31 @@ func TestAblationsDirection(t *testing.T) {
 	steal := runExp(t, "abl-stealing")
 	if r := speedupCell(t, steal.Rows[1][2]); r < 1.2 {
 		t.Errorf("stealing-off penalty %.2f, want >= 1.2", r)
+	}
+}
+
+func TestAblChainingStrictWin(t *testing.T) {
+	tbl := runExp(t, "abl-chaining")
+	chained := secondsCell(t, tbl.Rows[0][1])
+	unchained := secondsCell(t, tbl.Rows[1][1])
+	if chained >= unchained {
+		t.Errorf("chaining did not strictly reduce simulated time: %.2fs >= %.2fs", chained, unchained)
+	}
+	e, _ := ByID("abl-chaining")
+	if err := e.Check(tbl); err != nil {
+		t.Errorf("abl-chaining check rejected its own table: %v", err)
+	}
+}
+
+func TestFig8aCheckPinsSteadyState(t *testing.T) {
+	tbl := runExp(t, "fig8a")
+	e, _ := ByID("fig8a")
+	if err := e.Check(tbl); err != nil {
+		t.Errorf("fig8a check rejected its own table: %v", err)
+	}
+	bad := &Table{Notes: []string{"steady-state: uncached/cached = 1.20x"}}
+	if err := e.Check(bad); err == nil {
+		t.Error("fig8a check accepted a regressed steady-state ratio")
 	}
 }
 

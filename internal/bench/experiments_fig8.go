@@ -35,6 +35,22 @@ func init() {
 			t.Note("steady-state: uncached/cached = %.2fx", float64(without.Iterations[steady])/float64(with.Iterations[steady]))
 			return t
 		},
+		Check: func(t *Table) error {
+			// Simulated times are scale-invariant, so the steady-state
+			// ratio is pinned tightly: any drift means a cost-model or
+			// engine regression, not a noisy measurement.
+			if len(t.Notes) == 0 {
+				return fmt.Errorf("fig8a: missing steady-state note")
+			}
+			var r float64
+			if _, err := fmt.Sscanf(t.Notes[len(t.Notes)-1], "steady-state: uncached/cached = %fx", &r); err != nil {
+				return fmt.Errorf("fig8a: unparsable note %q: %w", t.Notes[len(t.Notes)-1], err)
+			}
+			if r < 1.80 || r > 1.88 {
+				return fmt.Errorf("fig8a: steady-state uncached/cached = %.2fx, pinned band is [1.80, 1.88]", r)
+			}
+			return nil
+		},
 	})
 
 	register(&Experiment{

@@ -1,0 +1,42 @@
+package flink
+
+import "testing"
+
+// The public read paths must not hand out aliases of a dataset's
+// backing storage: a driver program that sorts or overwrites a
+// collected result (or a Partition view) must never corrupt the
+// partitions a later operator will read.
+func TestCollectAndPartitionAreDefensiveCopies(t *testing.T) {
+	c := testCluster(2)
+	c.Clock.Run(func() {
+		j := c.NewJob("alias")
+		ds := Generate(j, "nums", 8, 8, 4, func(part int, ord int64) int64 {
+			return int64(part)*100 + ord
+		})
+
+		want := Collect(ds)
+
+		// Mutate everything a caller can reach.
+		got := Collect(ds)
+		for i := range got {
+			got[i] = -1
+		}
+		for p := 0; p < ds.Partitions(); p++ {
+			view := ds.Partition(p)
+			for i := range view.Items {
+				view.Items[i] = -2
+			}
+		}
+
+		after := Collect(ds)
+		if len(after) != len(want) {
+			t.Fatalf("record count changed: %d -> %d", len(want), len(after))
+		}
+		for i := range after {
+			if after[i] != want[i] {
+				t.Fatalf("partition storage corrupted at %d: %d != %d (collect mutation=%d)",
+					i, after[i], want[i], got[i])
+			}
+		}
+	})
+}

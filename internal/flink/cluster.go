@@ -187,6 +187,14 @@ func (j *Job) shouldFail(operator string) bool {
 // partition's worker, holding one task slot. Failed attempts are
 // retried on the same worker (Flink restarts from the consumed state;
 // our eager model simply re-runs the task body).
+// RunTasks exposes the scheduling loop to the plan layer: a fused
+// operator chain deploys exactly one task per partition for the whole
+// chain, so it needs the deploy-acquire-retry protocol without any
+// eager operator wrapped around it.
+func (j *Job) RunTasks(operator string, nparts int, workerOf func(p int) int, body func(p int, tm *TaskManager)) {
+	j.runTasks(operator, nparts, workerOf, body)
+}
+
 func (j *Job) runTasks(operator string, nparts int, workerOf func(p int) int, body func(p int, tm *TaskManager)) {
 	c := j.cluster
 	g := vclock.NewGroup(c.Clock)

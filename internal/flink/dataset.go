@@ -19,14 +19,25 @@ type Partition[T any] struct {
 }
 
 // Dataset mirrors Flink's DST: a collection of records partitioned over
-// the cluster, manipulated through transformation operators. The engine
-// is eager — each operator deploys its tasks immediately — which keeps
-// the simulation faithful to task-level costs without a deferred
-// optimizer.
+// the cluster, manipulated through transformation operators. Called
+// directly, the engine is eager — each operator deploys its tasks
+// immediately — which keeps the simulation faithful to task-level
+// costs. The deferred optimizer lives above it: package plan records
+// operators as JobGraph nodes, chains narrow ones, places Either nodes
+// on CPU or GPU, and only then drives these same eager operators.
 type Dataset[T any] struct {
 	job         *Job
 	parts       []Partition[T]
 	recordBytes int // approximate serialized record size
+}
+
+// AnyDataset is the type-erased view of a Dataset, enough for the plan
+// layer's chaining pass to reason about record sizes and counts without
+// knowing T.
+type AnyDataset interface {
+	Partitions() int
+	RecordBytes() int
+	NominalCount() int64
 }
 
 // Job returns the owning job.
@@ -35,9 +46,17 @@ func (d *Dataset[T]) Job() *Job { return d.job }
 // Partitions returns the partition count.
 func (d *Dataset[T]) Partitions() int { return len(d.parts) }
 
-// Partition returns partition p (shared slice; callers must not
-// mutate).
-func (d *Dataset[T]) Partition(p int) Partition[T] { return d.parts[p] }
+// Partition returns partition p. The Items slice is a defensive copy:
+// callers may reorder or overwrite it without corrupting the dataset.
+// Record contents of reference types are still shared — partitions hold
+// live simulation state (e.g. GDST blocks), not serialized bytes.
+func (d *Dataset[T]) Partition(p int) Partition[T] {
+	part := d.parts[p]
+	items := make([]T, len(part.Items))
+	copy(items, part.Items)
+	part.Items = items
+	return part
+}
 
 // RecordBytes returns the per-record serialized size estimate.
 func (d *Dataset[T]) RecordBytes() int { return d.recordBytes }
@@ -147,12 +166,28 @@ func scaleNominal(nominal, realIn, realOut int64) int64 {
 	return nominal * realOut / realIn
 }
 
+// ScaleNominal is the exported selectivity rescaling rule, shared with
+// the plan layer's fused chains so a fused filter shrinks nominal
+// counts exactly as the eager operator would.
+func ScaleNominal(nominal, realIn, realOut int64) int64 {
+	return scaleNominal(nominal, realIn, realOut)
+}
+
 // ChargeCompute sleeps for the iterator-model execution time of a task
 // processing nominal records with per-record demand perRec. Exposed for
 // operators (such as GFlink's GPU producers) that account for their own
 // costs through ProcessPartitions.
 func (j *Job) ChargeCompute(nominal int64, perRec costmodel.Work) {
 	j.cluster.Clock.Sleep(j.cluster.Cfg.Model.CPU.SlotTime(nominal, perRec.Scale(float64(nominal))))
+}
+
+// ChargeWork sleeps for the slot time of the batch demand w with no
+// per-record iterator overhead. Fused operator chains use it: the chain
+// head charges the record overhead once (records enter the fused task
+// through one iterator), and each chained operator then charges only
+// its compute and memory demand.
+func (j *Job) ChargeWork(w costmodel.Work) {
+	j.cluster.Clock.Sleep(j.cluster.Cfg.Model.CPU.SlotTime(0, w))
 }
 
 // ProcessPartitions deploys one task per partition that transforms the
@@ -435,7 +470,8 @@ func GroupReduce[T any, K comparable, U any](d *Dataset[T], name string, perRec 
 
 // Collect gathers every record to the driver (via the master), charging
 // serialization and the network hops, and returns them in partition
-// order.
+// order. The returned slice is freshly allocated — mutating it (or its
+// order) never touches the source partitions.
 func Collect[T any](d *Dataset[T]) []T {
 	model := d.job.cluster.Cfg.Model
 	g := vclock.NewGroup(d.job.cluster.Clock)

@@ -1,0 +1,33 @@
+package plan
+
+import (
+	"gflink/internal/core"
+)
+
+// GPUMap appends a gpuMapPartition node: spec's kernel runs over every
+// block of the upstream GDST when the graph executes. GPU nodes are
+// never chained — block processing already bypasses the iterator model,
+// which is the overhead chaining exists to amortize.
+func GPUMap(s *Stream[*core.Block], spec core.GPUMapSpec) *Stream[*core.Block] {
+	return newStream[*core.Block](s.gr, &node{
+		kind: kGPUMap,
+		name: "gpuMap:" + spec.Name,
+		up:   s.n,
+		run: func(ctx *Ctx, in any) any {
+			return core.GPUMapPartition(ctx.G, in.(core.GDST), spec)
+		},
+	})
+}
+
+// GPUReduce appends a gpuReducePartition node: each block reduces to
+// partialElems records for the driver to combine.
+func GPUReduce(s *Stream[*core.Block], spec core.GPUMapSpec, partialElems int) *Stream[*core.Block] {
+	return newStream[*core.Block](s.gr, &node{
+		kind: kGPUReduce,
+		name: "gpuReduce:" + spec.Name,
+		up:   s.n,
+		run: func(ctx *Ctx, in any) any {
+			return core.GPUReducePartition(ctx.G, in.(core.GDST), spec, partialElems)
+		},
+	})
+}

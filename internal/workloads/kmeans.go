@@ -6,9 +6,11 @@ import (
 	"math"
 
 	"gflink/internal/core"
+	"gflink/internal/costmodel"
 	"gflink/internal/flink"
 	"gflink/internal/gstruct"
 	"gflink/internal/kernels"
+	"gflink/internal/plan"
 )
 
 // KMeansParams configures the KMeans benchmark (HiBench-style: dense
@@ -79,129 +81,174 @@ func centroidChecksum(cents []float32) float64 {
 	return s
 }
 
-// KMeansCPU runs the baseline-Flink KMeans. Call inside the cluster's
-// virtual clock.
-func KMeansCPU(g *core.GFlink, p KMeansParams) Result {
+// kmeansStageCost estimates the assign stage for auto placement: the
+// points cross PCIe once (then stay cached when UseCache holds), the
+// centroids are streamed per device per iteration, and each iteration
+// returns one partial-sums record per launch.
+func kmeansStageCost(g *core.GFlink, p KMeansParams) costmodel.StageCost {
+	cpuLanes, gpuLanes := planLanes(g, p.Parallelism)
+	pointBytes := p.Points * int64(p.pointBytes())
+	blockBytes := g.Cfg.MaxBlockNominal
+	if blockBytes <= 0 {
+		blockBytes = 128 << 20
+	}
+	launches := (pointBytes + blockBytes - 1) / blockBytes
+	return costmodel.StageCost{
+		Records:        p.Points,
+		CPUPerRec:      kernels.KMeansWork(p.K, p.D),
+		GPUWork:        kernels.KMeansWork(p.K, p.D).Scale(float64(p.Points)),
+		HostToDevice:   pointBytes,
+		H2DStreamed:    int64(4 * p.K * p.D * gpuLanes),
+		DeviceToHost:   int64(4*p.K*(p.D+1)) * launches,
+		Launches:       launches,
+		Executions:     int64(p.Iterations),
+		CacheResident:  p.UseCache,
+		CPUParallelism: cpuLanes,
+		GPUParallelism: gpuLanes,
+	}
+}
+
+// KMeans runs Lloyd iterations through the plan layer as one pipeline.
+// The source and the per-iteration assign stage are Either nodes in the
+// "assign" placement group: the CPU body keeps the points as engine
+// partitions and assigns through the iterator model, the GPU body
+// builds SoA GDST blocks and launches the fused assign-reduce kernel.
+// Forced modes reproduce the former KMeansCPU/KMeansGPU drivers
+// exactly; Auto lets the cost model pick.
+func KMeans(g *core.GFlink, p KMeansParams, opts plan.Options) Result {
 	p.defaults()
 	c := g.Cluster
 	start := c.Clock.Now()
-	j := c.NewJob("kmeans-cpu")
-	points := flink.Generate(j, "points", p.Points, p.pointBytes(), p.Parallelism, func(part int, ord int64) []float32 {
-		pt := make([]float32, p.D)
-		for jj := 0; jj < p.D; jj++ {
-			pt[jj] = kmeansCoord(p.Seed, ord, jj, p.K)
-		}
-		return pt
-	})
-	cents := initialCentroids(p.Seed, p.K, p.D)
 	res := Result{}
+	cents := initialCentroids(p.Seed, p.K, p.D)
 	perRec := kernels.KMeansWork(p.K, p.D)
-	for it := 0; it < p.Iterations; it++ {
-		t0 := c.Clock.Now()
-		if it == 0 && p.FromHDFS {
-			// Fig 7a: the first iteration reads the points from HDFS.
-			stageRead(g, j, "kmeans-input", p.Points*int64(p.pointBytes()), p.Parallelism)
-		}
-		j.Broadcast(int64(p.K * p.D * 4))
-		centsNow := cents
-		tm0 := c.Clock.Now()
-		// Partial sums are one fixed-size record per partition at any
-		// scale, so nominal output is 1 (not the input's nominal count).
-		partials := flink.ProcessPartitions(points, "assign", 4*p.K*(p.D+1), func(pi, worker int, in flink.Partition[[]float32]) ([][]float32, int64) {
-			j.ChargeCompute(in.Nominal, perRec)
-			return [][]float32{kernels.CPUKMeansAssign(in.Items, centsNow, p.K, p.D)}, 1
+	workers := g.Cfg.Config.Workers
+
+	// Branch-local state: the CPU placement materializes points as an
+	// engine dataset, the GPU placement as SoA GDST blocks.
+	var points *flink.Dataset[[]float32]
+	var ds core.GDST
+	var partialSchema *gstruct.Schema
+
+	gr := plan.NewGraph(g, "kmeans-"+opts.Mode.String(), opts)
+	gr.PlaceGroup("assign", kmeansStageCost(g, p))
+	plan.EitherDo(gr, "points", "assign",
+		func(ctx *plan.Ctx) {
+			points = flink.Generate(ctx.Job, "points", p.Points, p.pointBytes(), p.Parallelism, func(part int, ord int64) []float32 {
+				pt := make([]float32, p.D)
+				for jj := 0; jj < p.D; jj++ {
+					pt[jj] = kmeansCoord(p.Seed, ord, jj, p.K)
+				}
+				return pt
+			})
+		},
+		func(ctx *plan.Ctx) {
+			schema := kernels.PointSchema(p.D)
+			ds = core.NewGDST(g, ctx.Job, schema, gstruct.SoA, p.Points, p.Parallelism, func(part int, v gstruct.View, i int, ord int64) {
+				for jj := 0; jj < p.D; jj++ {
+					v.PutFloat32At(i, jj, 0, kmeansCoord(p.Seed, ord, jj, p.K))
+				}
+			})
+			partialSchema = gstruct.MustNew(fmt.Sprintf("KPartial%dx%d", p.K, p.D), 4,
+				gstruct.Field{Name: "sums", Kind: gstruct.Float32, Len: p.K * (p.D + 1)})
 		})
-		merged := make([]float32, p.K*(p.D+1))
-		for _, part := range flink.Collect(partials) {
-			kernels.MergePartials(merged, part)
-		}
-		res.MapPhase = c.Clock.Now() - tm0
-		cents = kernels.UpdateCentroids(merged, cents, p.K, p.D)
-		if it == p.Iterations-1 && p.WriteResult {
-			// HiBench KMeans writes the per-point cluster assignments.
-			writeResult(g, "kmeans-output", p.Points*8)
-		}
-		j.Superstep()
-		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
-	}
+	iters := plan.Iterate(gr, "lloyd", p.Iterations, func(it int, sub *plan.Graph) {
+		plan.Do(sub, "stage-in", func(ctx *plan.Ctx) {
+			if it == 0 && p.FromHDFS {
+				// Fig 7a: the first iteration reads the points from HDFS.
+				stageRead(g, ctx.Job, "kmeans-input", p.Points*int64(p.pointBytes()), p.Parallelism)
+			}
+		})
+		plan.EitherDo(sub, "assign", "assign",
+			func(ctx *plan.Ctx) {
+				j := ctx.Job
+				j.Broadcast(int64(p.K * p.D * 4))
+				centsNow := cents
+				tm0 := c.Clock.Now()
+				// Partial sums are one fixed-size record per partition at any
+				// scale, so nominal output is 1 (not the input's nominal count).
+				partials := flink.ProcessPartitions(points, "assign", 4*p.K*(p.D+1), func(pi, worker int, in flink.Partition[[]float32]) ([][]float32, int64) {
+					j.ChargeCompute(in.Nominal, perRec)
+					return [][]float32{kernels.CPUKMeansAssign(in.Items, centsNow, p.K, p.D)}, 1
+				})
+				merged := make([]float32, p.K*(p.D+1))
+				for _, part := range flink.Collect(partials) {
+					kernels.MergePartials(merged, part)
+				}
+				res.MapPhase = c.Clock.Now() - tm0
+				cents = kernels.UpdateCentroids(merged, cents, p.K, p.D)
+			},
+			func(ctx *plan.Ctx) {
+				j := ctx.Job
+				// Centroids are consumed by the kernel as a flat c*d+j float
+				// array; write them raw into an off-heap buffer and broadcast.
+				centBuf := c.TaskManagers[0].Pool.MustAllocate(4 * p.K * p.D)
+				for i, v := range cents {
+					putRawF32(centBuf.Bytes(), i, v)
+				}
+				perWorker := core.BroadcastBuffer(g, j, centBuf, int64(4*p.K*p.D))
+				tm0 := c.Clock.Now()
+				partials := core.GPUReducePartition(g, ds, core.GPUMapSpec{
+					Name:       "kmeansAssign",
+					Kernel:     kernels.KMeansAssignKernel,
+					OutSchema:  partialSchema,
+					OutLayout:  gstruct.AoS,
+					CacheInput: p.UseCache,
+					Args:       []int64{int64(p.K), int64(p.D)},
+					Extra: func(b *core.Block) []core.Input {
+						return []core.Input{{
+							Buf:     perWorker[b.Partition%workers],
+							Nominal: int64(4 * p.K * p.D),
+						}}
+					},
+				}, 1)
+				merged := make([]float32, p.K*(p.D+1))
+				for _, blk := range core.CollectBlocks(partials) {
+					v := blk.View()
+					for i := range merged {
+						merged[i] += v.Float32At(0, 0, i)
+					}
+				}
+				res.MapPhase = c.Clock.Now() - tm0
+				core.FreeBlocks(partials)
+				for _, b := range perWorker {
+					b.Free()
+				}
+				centBuf.Free()
+				cents = kernels.UpdateCentroids(merged, cents, p.K, p.D)
+			})
+		plan.Do(sub, "sink", func(ctx *plan.Ctx) {
+			if it == p.Iterations-1 && p.WriteResult {
+				// HiBench KMeans writes the per-point cluster assignments.
+				writeResult(g, "kmeans-output", p.Points*8)
+			}
+		})
+	})
+	plan.EitherDo(gr, "cleanup", "assign",
+		func(ctx *plan.Ctx) {},
+		func(ctx *plan.Ctx) {
+			g.ReleaseJobCaches(ctx.Job.ID)
+			core.FreeBlocks(ds)
+		})
+	gr.Execute()
+
+	res.Iterations = iters.Durations
 	res.Total = c.Clock.Now() - start
 	res.Checksum = centroidChecksum(cents)
 	return res
+}
+
+// KMeansCPU runs the baseline-Flink KMeans. Call inside the cluster's
+// virtual clock.
+func KMeansCPU(g *core.GFlink, p KMeansParams) Result {
+	return KMeans(g, p, plan.Options{Mode: plan.ForceCPU})
 }
 
 // KMeansGPU runs the GFlink KMeans: points live in SoA GDST blocks,
 // each iteration broadcasts the centroids and launches the fused
 // assign-reduce kernel per block.
 func KMeansGPU(g *core.GFlink, p KMeansParams) Result {
-	p.defaults()
-	c := g.Cluster
-	start := c.Clock.Now()
-	j := c.NewJob("kmeans-gpu")
-	schema := kernels.PointSchema(p.D)
-	ds := core.NewGDST(g, j, schema, gstruct.SoA, p.Points, p.Parallelism, func(part int, v gstruct.View, i int, ord int64) {
-		for jj := 0; jj < p.D; jj++ {
-			v.PutFloat32At(i, jj, 0, kmeansCoord(p.Seed, ord, jj, p.K))
-		}
-	})
-	partialSchema := gstruct.MustNew(fmt.Sprintf("KPartial%dx%d", p.K, p.D), 4,
-		gstruct.Field{Name: "sums", Kind: gstruct.Float32, Len: p.K * (p.D + 1)})
-	cents := initialCentroids(p.Seed, p.K, p.D)
-	res := Result{}
-	workers := g.Cfg.Config.Workers
-	for it := 0; it < p.Iterations; it++ {
-		t0 := c.Clock.Now()
-		if it == 0 && p.FromHDFS {
-			// Fig 7a: the first iteration reads the points from HDFS.
-			stageRead(g, j, "kmeans-input", p.Points*int64(p.pointBytes()), p.Parallelism)
-		}
-		// Centroids are consumed by the kernel as a flat c*d+j float
-		// array; write them raw into an off-heap buffer and broadcast.
-		centBuf := c.TaskManagers[0].Pool.MustAllocate(4 * p.K * p.D)
-		for i, v := range cents {
-			putRawF32(centBuf.Bytes(), i, v)
-		}
-		perWorker := core.BroadcastBuffer(g, j, centBuf, int64(4*p.K*p.D))
-		tm0 := c.Clock.Now()
-		partials := core.GPUReducePartition(g, ds, core.GPUMapSpec{
-			Name:       "kmeansAssign",
-			Kernel:     kernels.KMeansAssignKernel,
-			OutSchema:  partialSchema,
-			OutLayout:  gstruct.AoS,
-			CacheInput: p.UseCache,
-			Args:       []int64{int64(p.K), int64(p.D)},
-			Extra: func(b *core.Block) []core.Input {
-				return []core.Input{{
-					Buf:     perWorker[b.Partition%workers],
-					Nominal: int64(4 * p.K * p.D),
-				}}
-			},
-		}, 1)
-		merged := make([]float32, p.K*(p.D+1))
-		for _, blk := range core.CollectBlocks(partials) {
-			v := blk.View()
-			for i := range merged {
-				merged[i] += v.Float32At(0, 0, i)
-			}
-		}
-		res.MapPhase = c.Clock.Now() - tm0
-		core.FreeBlocks(partials)
-		for _, b := range perWorker {
-			b.Free()
-		}
-		centBuf.Free()
-		cents = kernels.UpdateCentroids(merged, cents, p.K, p.D)
-		if it == p.Iterations-1 && p.WriteResult {
-			// HiBench KMeans writes the per-point cluster assignments.
-			writeResult(g, "kmeans-output", p.Points*8)
-		}
-		j.Superstep()
-		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
-	}
-	g.ReleaseJobCaches(j.ID)
-	core.FreeBlocks(ds)
-	res.Total = c.Clock.Now() - start
-	res.Checksum = centroidChecksum(cents)
-	return res
+	return KMeans(g, p, plan.Options{Mode: plan.ForceGPU})
 }
 
 // putRawF32 writes a little-endian float32 at index i of buf.

@@ -7,6 +7,7 @@ import (
 	"gflink/internal/gstruct"
 	"gflink/internal/kernels"
 	"gflink/internal/membuf"
+	"gflink/internal/plan"
 )
 
 // SpMVParams configures the iterative sparse matrix-vector benchmark
@@ -126,69 +127,31 @@ func initialVector(seed uint64, nReal int) []float32 {
 // reason the paper's CPU baseline is so slow.
 var spmvPerNNZWork = costmodel.Work{Flops: 40, BytesRead: 24}
 
-// SpMVCPU runs the baseline iterative multiply.
-func SpMVCPU(g *core.GFlink, p SpMVParams) Result {
-	p.defaults()
-	c := g.Cluster
-	start := c.Clock.Now()
-	j := c.NewJob("spmv-cpu")
-	par := p.Parallelism
-	if par <= 0 {
-		par = c.Parallelism()
+// spmvStageCost estimates the multiply stage for auto placement: the
+// matrix crosses PCIe once (then stays resident when UseCache holds)
+// while the vector is streamed to every device each iteration.
+func spmvStageCost(g *core.GFlink, p SpMVParams, par int) costmodel.StageCost {
+	cpuLanes, gpuLanes := planLanes(g, par)
+	rows := p.Rows()
+	nnz := rows * int64(p.NNZPerRow)
+	const blockBytes = 256 << 20
+	launches := (p.MatrixBytes + blockBytes - 1) / blockBytes
+	if launches < int64(par) {
+		launches = int64(par)
 	}
-	rowsNominal := p.Rows()
-	nReal := int(rowsNominal / g.Cfg.Config.ScaleDivisor)
-	if nReal < par {
-		nReal = par
+	return costmodel.StageCost{
+		Records:        nnz,
+		CPUPerRec:      spmvPerNNZWork,
+		GPUWork:        kernels.SpMVWork(nnz, rows),
+		HostToDevice:   p.MatrixBytes,
+		H2DStreamed:    rows * 4 * int64(gpuLanes),
+		DeviceToHost:   rows * 4,
+		Launches:       launches,
+		Executions:     int64(p.Iterations),
+		CacheResident:  p.UseCache,
+		CPUParallelism: cpuLanes,
+		GPUParallelism: gpuLanes,
 	}
-	parts := buildSpMVParts(p, par, nReal)
-	// A one-item-per-partition dataset carrying the CSR chunks.
-	chunkParts := make([]flink.Partition[spmvPart], par)
-	rowsNomPer := rowsNominal / int64(par)
-	for pi := range chunkParts {
-		nom := rowsNomPer
-		if pi == par-1 {
-			nom = rowsNominal - rowsNomPer*int64(par-1)
-		}
-		chunkParts[pi] = flink.Partition[spmvPart]{Worker: pi % c.Cfg.Workers, Items: []spmvPart{parts[pi]}, Nominal: nom}
-	}
-	matrix := flink.FromPartitions(j, p.NNZPerRow*8+4, chunkParts)
-	x := initialVector(p.Seed, nReal)
-	res := Result{}
-	for it := 0; it < p.Iterations; it++ {
-		t0 := c.Clock.Now()
-		if it == 0 && p.FromHDFS {
-			// Fig 7b: the first iteration reads the matrix from HDFS.
-			stageRead(g, j, "spmv-matrix", p.MatrixBytes, par)
-		}
-		// The y parts of the previous iteration live on their workers:
-		// every worker all-gathers the full vector.
-		j.AllGather(rowsNominal * 4)
-		xNow := x
-		tm0 := c.Clock.Now()
-		yParts := flink.ProcessPartitions(matrix, "multiply", 4, func(pi, worker int, in flink.Partition[spmvPart]) ([][]float32, int64) {
-			j.ChargeCompute(in.Nominal*int64(p.NNZPerRow), spmvPerNNZWork)
-			sp := in.Items[0]
-			return [][]float32{kernels.CPUSpMV(sp.rowPtr, sp.colIdx, sp.vals, xNow)}, in.Nominal
-		})
-		res.MapPhase = c.Clock.Now() - tm0
-		// y stays distributed (it feeds the next all-gather); the driver
-		// materialization below is bookkeeping only.
-		next := make([]float32, nReal)
-		for pi := 0; pi < yParts.Partitions(); pi++ {
-			copy(next[parts[pi].rowStart:], yParts.Partition(pi).Items[0])
-		}
-		x = next
-		if it == p.Iterations-1 && p.WriteResult {
-			// Fig 7b: the last iteration writes the vector to HDFS.
-			writeResult(g, "spmv-output", rowsNominal*4)
-		}
-		j.Superstep()
-		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
-	}
-	res.Total = c.Clock.Now() - start
-	res.Checksum = vectorChecksum(x)
-	return res
 }
 
 // kernelRowsOf decodes a CSR block's row count from its header.
@@ -197,15 +160,19 @@ func kernelRowsOf(blk *core.Block) int32 {
 	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
 }
 
-// SpMVGPU runs the GFlink multiply: each partition's CSR chunk is one
-// cacheable device block; x is broadcast and transferred each
-// iteration, exactly the traffic pattern Fig 8a's cache ablation
-// measures.
-func SpMVGPU(g *core.GFlink, p SpMVParams) Result {
+// SpMV runs the iterative multiply through the plan layer as one
+// pipeline. The matrix source and the per-iteration multiply are
+// Either nodes in the "multiply" placement group: the CPU body keeps
+// the CSR chunks as one-item engine partitions and multiplies through
+// the iterator model; the GPU body encodes the chunks into cacheable
+// device blocks and launches the CSR kernel, re-shipping x each
+// iteration. Forced modes reproduce the former SpMVCPU/SpMVGPU drivers
+// exactly; Auto lets the cost model pick.
+func SpMV(g *core.GFlink, p SpMVParams, opts plan.Options) Result {
 	p.defaults()
 	c := g.Cluster
 	start := c.Clock.Now()
-	j := c.NewJob("spmv-gpu")
+	res := Result{}
 	par := p.Parallelism
 	if par <= 0 {
 		par = c.Parallelism()
@@ -216,151 +183,223 @@ func SpMVGPU(g *core.GFlink, p SpMVParams) Result {
 		nReal = par
 	}
 	parts := buildSpMVParts(p, par, nReal)
-	// Encode each partition's CSR into off-heap blocks. Blocks are
-	// multi-page (CSR chunks are not GStruct records, so the
-	// page-straddling rule does not apply) but bounded in nominal bytes
-	// so a single transfer can never exceed device memory.
-	const maxNomBytesPerBlock = 256 << 20
-	byteSchema := gstruct.MustNew("CSRByte", 1, gstruct.Field{Name: "b", Kind: gstruct.Uint8})
-	blockParts := make([]flink.Partition[*core.Block], par)
-	chunkRowStart := make([][]int, par) // real row offsets of each chunk
-	rowsNomPer := rowsNominal / int64(par)
-	for pi := range blockParts {
-		worker := pi % c.Cfg.Workers
-		sp := parts[pi]
-		realRows := len(sp.rowPtr) - 1
-		nomRows := rowsNomPer
-		if pi == par-1 {
-			nomRows = rowsNominal - rowsNomPer*int64(par-1)
-		}
-		nomBytes := nomRows * int64(p.NNZPerRow*8+4)
-		chunks := int((nomBytes + maxNomBytesPerBlock - 1) / maxNomBytesPerBlock)
-		if chunks > realRows {
-			chunks = realRows
-		}
-		if chunks < 1 {
-			chunks = 1
-		}
-		per := (realRows + chunks - 1) / chunks
-		var blocks []*core.Block
-		var nomDone int64
-		for bi, r0 := 0, 0; r0 < realRows; bi, r0 = bi+1, r0+per {
-			r1 := r0 + per
-			if r1 > realRows {
-				r1 = realRows
-			}
-			base := sp.rowPtr[r0]
-			rowPtr := make([]int32, r1-r0+1)
-			for i := range rowPtr {
-				rowPtr[i] = sp.rowPtr[r0+i] - base
-			}
-			colIdx := sp.colIdx[base:sp.rowPtr[r1]]
-			vals := sp.vals[base:sp.rowPtr[r1]]
-			size := kernels.EncodedCSRSize(r1-r0, len(colIdx))
-			buf := c.TaskManagers[worker].Pool.MustAllocate(size)
-			kernels.EncodeCSR(buf.Bytes(), rowPtr, colIdx, vals)
-			nom := nomBytes * int64(r1-r0) / int64(realRows)
-			if r1 == realRows {
-				nom = nomBytes - nomDone
-			}
-			nomDone += nom
-			blocks = append(blocks, &core.Block{
-				Schema: byteSchema, Layout: gstruct.AoS,
-				Buf: buf, N: size, Nominal: nom,
-				Partition: pi, Index: bi,
-			})
-			chunkRowStart[pi] = append(chunkRowStart[pi], r0)
-		}
-		blockParts[pi] = flink.Partition[*core.Block]{Worker: worker, Items: blocks, Nominal: nomRows}
-	}
-	matrix := flink.FromPartitions(j, 1, blockParts)
 	x := initialVector(p.Seed, nReal)
-	res := Result{}
 	workers := g.Cfg.Config.Workers
-	for it := 0; it < p.Iterations; it++ {
-		t0 := c.Clock.Now()
-		if it == 0 && p.FromHDFS {
-			// Fig 7b: the first iteration reads the matrix from HDFS.
-			stageRead(g, j, "spmv-matrix", p.MatrixBytes, par)
-		}
-		// All-gather x across workers, then stage off-heap copies; the
-		// PCIe hop is charged on each GWork's vector input.
-		j.AllGather(rowsNominal * 4)
-		xBuf := c.TaskManagers[0].Pool.MustAllocate(4 * nReal)
-		for i, v := range x {
-			putRawF32(xBuf.Bytes(), i, v)
-		}
-		perWorker := core.StageBuffer(g, xBuf)
-		// x crosses PCIe once per device per iteration via the cache.
-		iterKey := core.CacheKey{JobID: j.ID, Partition: -2, Block: it}
-		tm0 := c.Clock.Now()
-		yParts := flink.ProcessPartitions(matrix, "gpu:multiply", 4, func(pi, worker int, in flink.Partition[*core.Block]) ([][]float32, int64) {
-			sp := parts[pi]
-			rows := len(sp.rowPtr) - 1
-			pool := c.TaskManagers[worker].Pool
-			y := make([]float32, rows)
-			// One GWork per matrix chunk; all submitted before waiting so
-			// the stream pipeline overlaps their stages.
-			works := make([]*core.GWork, len(in.Items))
-			outs := make([]*membuf.HBuffer, len(in.Items))
-			for bi, blk := range in.Items {
-				chunkRows := int(kernelRowsOf(blk))
-				outBuf := pool.MustAllocate(4 * chunkRows)
-				nomRows := in.Nominal * int64(chunkRows) / int64(rows)
-				w := &core.GWork{
-					ExecuteName: kernels.SpMVCSRKernel,
-					Size:        chunkRows,
-					Nominal:     nomRows,
-					BlockSize:   256,
-					GridSize:    (chunkRows + 255) / 256,
-					In: []core.Input{
-						{Buf: blk.Buf, Nominal: blk.Nominal, Cache: p.UseCache, Key: blk.Key(j.ID)},
-						{Buf: perWorker[worker%workers], Nominal: rowsNominal * 4, Cache: p.UseCache, Key: iterKey},
-					},
-					Out:        outBuf,
-					OutNominal: nomRows * 4,
-					Args:       []int64{nomRows * int64(p.NNZPerRow), nomRows},
-					JobID:      j.ID,
+
+	// Branch-local state: the CPU placement carries the CSR chunks as an
+	// engine dataset, the GPU placement as encoded device blocks.
+	var matrix *flink.Dataset[spmvPart]
+	var gmatrix *flink.Dataset[*core.Block]
+	var blockParts []flink.Partition[*core.Block]
+	var chunkRowStart [][]int
+
+	gr := plan.NewGraph(g, "spmv-"+opts.Mode.String(), opts)
+	gr.PlaceGroup("multiply", spmvStageCost(g, p, par))
+	plan.EitherDo(gr, "matrix", "multiply",
+		func(ctx *plan.Ctx) {
+			// A one-item-per-partition dataset carrying the CSR chunks.
+			chunkParts := make([]flink.Partition[spmvPart], par)
+			rowsNomPer := rowsNominal / int64(par)
+			for pi := range chunkParts {
+				nom := rowsNomPer
+				if pi == par-1 {
+					nom = rowsNominal - rowsNomPer*int64(par-1)
 				}
-				g.Manager(worker).Streams.Submit(w)
-				works[bi] = w
-				outs[bi] = outBuf
+				chunkParts[pi] = flink.Partition[spmvPart]{Worker: pi % c.Cfg.Workers, Items: []spmvPart{parts[pi]}, Nominal: nom}
 			}
-			for bi, w := range works {
-				if err := w.Wait(); err != nil {
-					panic(err)
+			matrix = flink.FromPartitions(ctx.Job, p.NNZPerRow*8+4, chunkParts)
+		},
+		func(ctx *plan.Ctx) {
+			// Encode each partition's CSR into off-heap blocks. Blocks are
+			// multi-page (CSR chunks are not GStruct records, so the
+			// page-straddling rule does not apply) but bounded in nominal bytes
+			// so a single transfer can never exceed device memory.
+			const maxNomBytesPerBlock = 256 << 20
+			byteSchema := gstruct.MustNew("CSRByte", 1, gstruct.Field{Name: "b", Kind: gstruct.Uint8})
+			blockParts = make([]flink.Partition[*core.Block], par)
+			chunkRowStart = make([][]int, par) // real row offsets of each chunk
+			rowsNomPer := rowsNominal / int64(par)
+			for pi := range blockParts {
+				worker := pi % c.Cfg.Workers
+				sp := parts[pi]
+				realRows := len(sp.rowPtr) - 1
+				nomRows := rowsNomPer
+				if pi == par-1 {
+					nomRows = rowsNominal - rowsNomPer*int64(par-1)
 				}
-				r0 := chunkRowStart[pi][bi]
-				for r := 0; r < w.Size; r++ {
-					y[r0+r] = rawF32(outs[bi].Bytes(), r)
+				nomBytes := nomRows * int64(p.NNZPerRow*8+4)
+				chunks := int((nomBytes + maxNomBytesPerBlock - 1) / maxNomBytesPerBlock)
+				if chunks > realRows {
+					chunks = realRows
 				}
-				outs[bi].Free()
+				if chunks < 1 {
+					chunks = 1
+				}
+				per := (realRows + chunks - 1) / chunks
+				var blocks []*core.Block
+				var nomDone int64
+				for bi, r0 := 0, 0; r0 < realRows; bi, r0 = bi+1, r0+per {
+					r1 := r0 + per
+					if r1 > realRows {
+						r1 = realRows
+					}
+					base := sp.rowPtr[r0]
+					rowPtr := make([]int32, r1-r0+1)
+					for i := range rowPtr {
+						rowPtr[i] = sp.rowPtr[r0+i] - base
+					}
+					colIdx := sp.colIdx[base:sp.rowPtr[r1]]
+					vals := sp.vals[base:sp.rowPtr[r1]]
+					size := kernels.EncodedCSRSize(r1-r0, len(colIdx))
+					buf := c.TaskManagers[worker].Pool.MustAllocate(size)
+					kernels.EncodeCSR(buf.Bytes(), rowPtr, colIdx, vals)
+					nom := nomBytes * int64(r1-r0) / int64(realRows)
+					if r1 == realRows {
+						nom = nomBytes - nomDone
+					}
+					nomDone += nom
+					blocks = append(blocks, &core.Block{
+						Schema: byteSchema, Layout: gstruct.AoS,
+						Buf: buf, N: size, Nominal: nom,
+						Partition: pi, Index: bi,
+					})
+					chunkRowStart[pi] = append(chunkRowStart[pi], r0)
+				}
+				blockParts[pi] = flink.Partition[*core.Block]{Worker: worker, Items: blocks, Nominal: nomRows}
 			}
-			return [][]float32{y}, in.Nominal
+			gmatrix = flink.FromPartitions(ctx.Job, 1, blockParts)
 		})
-		res.MapPhase = c.Clock.Now() - tm0
-		// y stays distributed; driver materialization is bookkeeping.
-		next := make([]float32, nReal)
-		for pi := 0; pi < yParts.Partitions(); pi++ {
-			copy(next[parts[pi].rowStart:], yParts.Partition(pi).Items[0])
-		}
-		x = next
-		for _, b := range perWorker {
-			b.Free()
-		}
-		xBuf.Free()
-		if it == p.Iterations-1 && p.WriteResult {
-			// Fig 7b: the last iteration writes the vector to HDFS.
-			writeResult(g, "spmv-output", rowsNominal*4)
-		}
-		j.Superstep()
-		res.Iterations = append(res.Iterations, c.Clock.Now()-t0)
-	}
-	g.ReleaseJobCaches(j.ID)
-	for pi := range blockParts {
-		blockParts[pi].Items[0].Buf.Free()
-	}
+	iters := plan.Iterate(gr, "power", p.Iterations, func(it int, sub *plan.Graph) {
+		plan.Do(sub, "stage-in", func(ctx *plan.Ctx) {
+			if it == 0 && p.FromHDFS {
+				// Fig 7b: the first iteration reads the matrix from HDFS.
+				stageRead(g, ctx.Job, "spmv-matrix", p.MatrixBytes, par)
+			}
+		})
+		plan.Do(sub, "allgather", func(ctx *plan.Ctx) {
+			// The y parts of the previous iteration live on their workers:
+			// every worker all-gathers the full vector.
+			ctx.Job.AllGather(rowsNominal * 4)
+		})
+		plan.EitherDo(sub, "multiply", "multiply",
+			func(ctx *plan.Ctx) {
+				j := ctx.Job
+				xNow := x
+				tm0 := c.Clock.Now()
+				yParts := flink.ProcessPartitions(matrix, "multiply", 4, func(pi, worker int, in flink.Partition[spmvPart]) ([][]float32, int64) {
+					j.ChargeCompute(in.Nominal*int64(p.NNZPerRow), spmvPerNNZWork)
+					sp := in.Items[0]
+					return [][]float32{kernels.CPUSpMV(sp.rowPtr, sp.colIdx, sp.vals, xNow)}, in.Nominal
+				})
+				res.MapPhase = c.Clock.Now() - tm0
+				// y stays distributed (it feeds the next all-gather); the driver
+				// materialization below is bookkeeping only.
+				next := make([]float32, nReal)
+				for pi := 0; pi < yParts.Partitions(); pi++ {
+					copy(next[parts[pi].rowStart:], yParts.Partition(pi).Items[0])
+				}
+				x = next
+			},
+			func(ctx *plan.Ctx) {
+				j := ctx.Job
+				// Stage off-heap copies of x; the PCIe hop is charged on each
+				// GWork's vector input.
+				xBuf := c.TaskManagers[0].Pool.MustAllocate(4 * nReal)
+				for i, v := range x {
+					putRawF32(xBuf.Bytes(), i, v)
+				}
+				perWorker := core.StageBuffer(g, xBuf)
+				// x crosses PCIe once per device per iteration via the cache.
+				iterKey := core.CacheKey{JobID: j.ID, Partition: -2, Block: it}
+				tm0 := c.Clock.Now()
+				yParts := flink.ProcessPartitions(gmatrix, "gpu:multiply", 4, func(pi, worker int, in flink.Partition[*core.Block]) ([][]float32, int64) {
+					sp := parts[pi]
+					rows := len(sp.rowPtr) - 1
+					pool := c.TaskManagers[worker].Pool
+					y := make([]float32, rows)
+					// One GWork per matrix chunk; all submitted before waiting so
+					// the stream pipeline overlaps their stages.
+					works := make([]*core.GWork, len(in.Items))
+					outs := make([]*membuf.HBuffer, len(in.Items))
+					for bi, blk := range in.Items {
+						chunkRows := int(kernelRowsOf(blk))
+						outBuf := pool.MustAllocate(4 * chunkRows)
+						nomRows := in.Nominal * int64(chunkRows) / int64(rows)
+						w := &core.GWork{
+							ExecuteName: kernels.SpMVCSRKernel,
+							Size:        chunkRows,
+							Nominal:     nomRows,
+							BlockSize:   256,
+							GridSize:    (chunkRows + 255) / 256,
+							In: []core.Input{
+								{Buf: blk.Buf, Nominal: blk.Nominal, Cache: p.UseCache, Key: blk.Key(j.ID)},
+								{Buf: perWorker[worker%workers], Nominal: rowsNominal * 4, Cache: p.UseCache, Key: iterKey},
+							},
+							Out:        outBuf,
+							OutNominal: nomRows * 4,
+							Args:       []int64{nomRows * int64(p.NNZPerRow), nomRows},
+							JobID:      j.ID,
+						}
+						g.Manager(worker).Streams.Submit(w)
+						works[bi] = w
+						outs[bi] = outBuf
+					}
+					for bi, w := range works {
+						if err := w.Wait(); err != nil {
+							panic(err)
+						}
+						r0 := chunkRowStart[pi][bi]
+						for r := 0; r < w.Size; r++ {
+							y[r0+r] = rawF32(outs[bi].Bytes(), r)
+						}
+						outs[bi].Free()
+					}
+					return [][]float32{y}, in.Nominal
+				})
+				res.MapPhase = c.Clock.Now() - tm0
+				// y stays distributed; driver materialization is bookkeeping.
+				next := make([]float32, nReal)
+				for pi := 0; pi < yParts.Partitions(); pi++ {
+					copy(next[parts[pi].rowStart:], yParts.Partition(pi).Items[0])
+				}
+				x = next
+				for _, b := range perWorker {
+					b.Free()
+				}
+				xBuf.Free()
+			})
+		plan.Do(sub, "sink", func(ctx *plan.Ctx) {
+			if it == p.Iterations-1 && p.WriteResult {
+				// Fig 7b: the last iteration writes the vector to HDFS.
+				writeResult(g, "spmv-output", rowsNominal*4)
+			}
+		})
+	})
+	plan.EitherDo(gr, "cleanup", "multiply",
+		func(ctx *plan.Ctx) {},
+		func(ctx *plan.Ctx) {
+			g.ReleaseJobCaches(ctx.Job.ID)
+			for pi := range blockParts {
+				blockParts[pi].Items[0].Buf.Free()
+			}
+		})
+	gr.Execute()
+
+	res.Iterations = iters.Durations
 	res.Total = c.Clock.Now() - start
 	res.Checksum = vectorChecksum(x)
 	return res
+}
+
+// SpMVCPU runs the baseline iterative multiply.
+func SpMVCPU(g *core.GFlink, p SpMVParams) Result {
+	return SpMV(g, p, plan.Options{Mode: plan.ForceCPU})
+}
+
+// SpMVGPU runs the GFlink multiply: each partition's CSR chunk is one
+// cacheable device block; x is broadcast and transferred each
+// iteration, exactly the traffic pattern Fig 8a's cache ablation
+// measures.
+func SpMVGPU(g *core.GFlink, p SpMVParams) Result {
+	return SpMV(g, p, plan.Options{Mode: plan.ForceGPU})
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"gflink/internal/core"
 	"gflink/internal/costmodel"
 	"gflink/internal/flink"
 	"gflink/internal/kernels"
+	"gflink/internal/plan"
 )
 
 // WordCountParams configures the WordCount benchmark: the only batch
@@ -71,39 +73,95 @@ type wcPair struct {
 	Count uint32
 }
 
-// wordCountShuffle reduces per-partition dense tables through the
-// engine's hash shuffle and returns the global counts.
-func wordCountShuffle(tables *flink.Dataset[wcPair], vocab int) map[int]uint32 {
-	reduced := flink.ReduceByKey(tables, "sumCounts", costmodel.Work{Flops: 2},
-		func(p wcPair) int { return p.Slot },
-		func(a, b wcPair) wcPair { return wcPair{Slot: a.Slot, Count: a.Count + b.Count} })
-	out := make(map[int]uint32, vocab)
-	for _, p := range flink.Collect(reduced) {
-		out[p.Slot] += p.Count
+// wordCountStageCost estimates the tokenize stage for auto placement:
+// one pass over the text (records at ~12 bytes per word) against one
+// kernel launch per partition with the full text crossing PCIe and only
+// the dense count tables coming back.
+func wordCountStageCost(g *core.GFlink, p WordCountParams) costmodel.StageCost {
+	cpuLanes, gpuLanes := planLanes(g, p.Parallelism)
+	return costmodel.StageCost{
+		Records:        p.Bytes / 12,
+		CPUPerRec:      costmodel.Work{Flops: 14, BytesRead: 7},
+		GPUWork:        kernels.WordCountWork(p.Bytes),
+		HostToDevice:   p.Bytes,
+		DeviceToHost:   int64(4*p.Vocab) * int64(cpuLanes),
+		Launches:       int64(cpuLanes),
+		CPUParallelism: cpuLanes,
+		GPUParallelism: gpuLanes,
 	}
-	return out
+}
+
+// WordCount runs the benchmark through the plan layer as one pipeline:
+// HDFS source, an Either tokenize stage (iterator-model CPU body vs
+// tokenizing-kernel GPU body), the count shuffle, and the output write.
+// Forced modes reproduce the former WordCountCPU/WordCountGPU drivers
+// exactly; Auto lets the cost model pick the tokenize device.
+func WordCount(g *core.GFlink, p WordCountParams, opts plan.Options) Result {
+	p.defaults()
+	c := g.Cluster
+	start := c.Clock.Now()
+	res := Result{}
+	var counts map[int]uint32
+	var tm0 time.Duration
+
+	gr := plan.NewGraph(g, "wordcount-"+opts.Mode.String(), opts)
+	gr.PlaceGroup("tokenize", wordCountStageCost(g, p))
+	lines := plan.Source(gr, "wc-input", func(ctx *plan.Ctx) *flink.Dataset[string] {
+		c.FS.Create("wc-input", p.Bytes)
+		// The scan cost is identical on both placements.
+		lines, err := flink.ReadHDFS(ctx.Job, "wc-input", p.Parallelism, p.LineBytes, func(split int, ord int64) string {
+			return wcLine(p.Seed, ord, p.LineBytes, p.Vocab)
+		})
+		if err != nil {
+			panic(err)
+		}
+		tm0 = c.Clock.Now()
+		return lines
+	})
+	tables := plan.Either(lines, "tokenize", "tokenize",
+		func(ctx *plan.Ctx, in *flink.Dataset[string]) *flink.Dataset[wcPair] {
+			return tokenizeCPU(ctx.Job, in, p)
+		},
+		func(ctx *plan.Ctx, in *flink.Dataset[string]) *flink.Dataset[wcPair] {
+			return tokenizeGPU(ctx.G, ctx.Job, in, p)
+		})
+	reduced := plan.ReduceByKey(tables, "sumCounts", costmodel.Work{Flops: 2},
+		func(pr wcPair) int { return pr.Slot },
+		func(a, b wcPair) wcPair { return wcPair{Slot: a.Slot, Count: a.Count + b.Count} })
+	plan.Collect(reduced, "counts", func(ctx *plan.Ctx, recs []wcPair) {
+		counts = make(map[int]uint32, p.Vocab)
+		for _, pr := range recs {
+			counts[pr.Slot] += pr.Count
+		}
+		res.MapPhase = c.Clock.Now() - tm0
+		flinkWriteCounts(g, p.Vocab)
+	})
+	gr.Execute()
+
+	res.Total = c.Clock.Now() - start
+	res.Checksum = wcChecksum(counts)
+	return res
 }
 
 // WordCountCPU runs the baseline WordCount: scan HDFS, tokenize through
 // the iterator model, shuffle counts, write the result.
 func WordCountCPU(g *core.GFlink, p WordCountParams) Result {
-	p.defaults()
-	c := g.Cluster
-	start := c.Clock.Now()
-	j := c.NewJob("wordcount-cpu")
-	c.FS.Create("wc-input", p.Bytes)
-	lines, err := flink.ReadHDFS(j, "wc-input", p.Parallelism, p.LineBytes, func(split int, ord int64) string {
-		return wcLine(p.Seed, ord, p.LineBytes, p.Vocab)
-	})
-	if err != nil {
-		panic(err)
-	}
-	tm0 := c.Clock.Now()
-	// Tokenize and count per partition. The iterator model pays
-	// per-word record overhead plus the scan cost (HiBench text averages
-	// ~12 bytes per word including the separator).
+	return WordCount(g, p, plan.Options{Mode: plan.ForceCPU})
+}
+
+// WordCountGPU runs the GFlink WordCount: text blocks go to the
+// tokenizing kernel; the shuffle and I/O stay on the engine, which is
+// why the speedup is modest.
+func WordCountGPU(g *core.GFlink, p WordCountParams) Result {
+	return WordCount(g, p, plan.Options{Mode: plan.ForceGPU})
+}
+
+// tokenizeCPU tokenizes and counts per partition on the engine. The
+// iterator model pays per-word record overhead plus the scan cost
+// (HiBench text averages ~12 bytes per word including the separator).
+func tokenizeCPU(j *flink.Job, lines *flink.Dataset[string], p WordCountParams) *flink.Dataset[wcPair] {
 	wordsPerLine := float64(p.LineBytes) / 12.0
-	tables := flink.ProcessPartitions(lines, "tokenize", 12, func(pi, worker int, in flink.Partition[string]) ([]wcPair, int64) {
+	return flink.ProcessPartitions(lines, "tokenize", 12, func(pi, worker int, in flink.Partition[string]) ([]wcPair, int64) {
 		nominalWords := int64(float64(in.Nominal) * wordsPerLine)
 		j.ChargeCompute(nominalWords, costmodel.Work{Flops: 14, BytesRead: 7})
 		text := strings.Join(in.Items, " ")
@@ -116,38 +174,12 @@ func WordCountCPU(g *core.GFlink, p WordCountParams) Result {
 		}
 		return pairs, int64(p.Vocab)
 	})
-	res := Result{}
-	counts := wordCountShuffle(tables, p.Vocab)
-	res.MapPhase = c.Clock.Now() - tm0
-	flinkWriteCounts(g, p.Vocab)
-	res.Total = c.Clock.Now() - start
-	res.Checksum = wcChecksum(counts)
-	return res
 }
 
-// flinkWriteCounts writes the reduced table to HDFS.
-func flinkWriteCounts(g *core.GFlink, vocab int) {
-	g.Cluster.FS.Write(0, "wc-output", int64(vocab*12))
-}
-
-// WordCountGPU runs the GFlink WordCount: text blocks go to the
-// tokenizing kernel; the shuffle and I/O stay on the engine, which is
-// why the speedup is modest.
-func WordCountGPU(g *core.GFlink, p WordCountParams) Result {
-	p.defaults()
-	c := g.Cluster
-	start := c.Clock.Now()
-	j := c.NewJob("wordcount-gpu")
-	c.FS.Create("wc-input", p.Bytes)
-	// The scan cost is identical to the CPU path.
-	lines, err := flink.ReadHDFS(j, "wc-input", p.Parallelism, p.LineBytes, func(split int, ord int64) string {
-		return wcLine(p.Seed, ord, p.LineBytes, p.Vocab)
-	})
-	if err != nil {
-		panic(err)
-	}
-	tm0 := c.Clock.Now()
-	tables := flink.ProcessPartitions(lines, "gpu:tokenize", 12, func(pi, worker int, in flink.Partition[string]) ([]wcPair, int64) {
+// tokenizeGPU ships each partition's text to the tokenizing kernel and
+// reads back the dense count table.
+func tokenizeGPU(g *core.GFlink, j *flink.Job, lines *flink.Dataset[string], p WordCountParams) *flink.Dataset[wcPair] {
+	return flink.ProcessPartitions(lines, "gpu:tokenize", 12, func(pi, worker int, in flink.Partition[string]) ([]wcPair, int64) {
 		text := []byte(strings.Join(in.Items, " "))
 		pool := g.Cluster.TaskManagers[worker].Pool
 		inBuf := pool.MustAllocate(len(text) + 1)
@@ -180,13 +212,11 @@ func WordCountGPU(g *core.GFlink, p WordCountParams) Result {
 		outBuf.Free()
 		return pairs, int64(p.Vocab)
 	})
-	res := Result{}
-	counts := wordCountShuffle(tables, p.Vocab)
-	res.MapPhase = c.Clock.Now() - tm0
-	flinkWriteCounts(g, p.Vocab)
-	res.Total = c.Clock.Now() - start
-	res.Checksum = wcChecksum(counts)
-	return res
+}
+
+// flinkWriteCounts writes the reduced table to HDFS.
+func flinkWriteCounts(g *core.GFlink, vocab int) {
+	g.Cluster.FS.Write(0, "wc-output", int64(vocab*12))
 }
 
 // rawU32 reads the i-th little-endian uint32 of buf.
