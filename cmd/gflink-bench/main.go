@@ -5,10 +5,16 @@
 //
 //	gflink-bench -list
 //	gflink-bench -exp fig5a,table2
-//	gflink-bench -all [-scale 4] [-md results.md]
+//	gflink-bench -all [-scale 4] [-md results.md] [-trace out.json]
 //
 // -scale divides the real (in-memory) data sizes without changing any
 // simulated cost; 1 is full fidelity, larger values run faster.
+//
+// -trace additionally records every deployment's span stream and writes
+// one Chrome trace_event JSON file (open it at chrome://tracing or
+// https://ui.perfetto.dev). All span timestamps come from the virtual
+// clock, so the file is byte-identical across runs, GOMAXPROCS values
+// and -scale settings.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"gflink/internal/bench"
+	"gflink/internal/obs"
 )
 
 func main() {
@@ -28,6 +35,7 @@ func main() {
 		scale  = flag.Int64("scale", 1, "real-data scale divisor multiplier (1 = full fidelity)")
 		mdPath = flag.String("md", "", "also write results as markdown to this file")
 		check  = flag.Bool("check", false, "run each experiment's pinned-shape check and exit nonzero on regression")
+		trace  = flag.String("trace", "", "write a Chrome trace_event JSON of every run to this file")
 	)
 	flag.Parse()
 
@@ -54,6 +62,7 @@ func main() {
 
 	var md strings.Builder
 	var failed bool
+	var procs []obs.TraceProcess
 	md.WriteString("# GFlink reproduction results\n\n")
 	for _, id := range ids {
 		e, ok := bench.ByID(strings.TrimSpace(id))
@@ -61,7 +70,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 			os.Exit(1)
 		}
-		t := e.Run(*scale)
+		var t *bench.Table
+		if *trace != "" {
+			var ps []obs.TraceProcess
+			t, ps = bench.RunTraced(e, *scale)
+			procs = append(procs, ps...)
+		} else {
+			t = e.Run(*scale)
+		}
 		fmt.Println(t.String())
 		md.WriteString(t.Markdown())
 		if *check {
@@ -77,6 +93,22 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+	if *trace != "" {
+		data, err := obs.ChromeTrace(procs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "building trace:", err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fmt.Fprintln(os.Stderr, "trace failed schema validation:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*trace, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events from %d runs)\n", *trace, strings.Count(string(data), `"ph"`), len(procs))
 	}
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {

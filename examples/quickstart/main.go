@@ -1,13 +1,15 @@
 // Quickstart: the PointAdd program of the paper's Algorithm 3.1,
 // written against the deferred plan API. It declares a GStruct, builds
 // a plan whose source materializes a GDST and whose GPUMap node runs a
-// registered kernel, executes the plan, verifies the result, and
-// prints the simulated times — all on a 2-worker cluster with two
-// Tesla C2050s per node.
+// registered kernel, executes the plan, verifies the result, prints
+// the simulated times and the plan's Explain() report, and writes a
+// Chrome trace of the run — all on a 2-worker cluster with two Tesla
+// C2050s per node.
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"gflink"
@@ -31,10 +33,13 @@ func main() {
 	fmt.Println(kernels.Point3Schema.CLayout())
 
 	const points = 100_000_000
+	// The graph outlives Run so Explain can report measured stage times
+	// after the simulation finishes.
+	var gr *gflink.Plan
 	total := g.Run(func() {
 		// Build the deferred graph: nothing below touches the virtual
 		// clock until Execute submits the job and materializes the nodes.
-		gr := gflink.NewPlan(g, "quickstart", gflink.PlanOptions{})
+		gr = gflink.NewPlan(g, "quickstart", gflink.PlanOptions{})
 
 		// Source node: a GDST of Point3 records — raw bytes in off-heap
 		// blocks, ready for DMA without serialization.
@@ -81,4 +86,25 @@ func main() {
 		gr.Execute()
 	})
 	fmt.Printf("total simulated job time: %v\n", total)
+
+	// Explain renders the plan after the fact: placement decisions with
+	// the cost-model estimates behind them, the stage list the chaining
+	// pass produced, and the simulated time each stage took.
+	fmt.Println()
+	fmt.Print(gflink.Explain(gr))
+
+	// Every deployment records spans on its virtual clock; export them
+	// as Chrome trace_event JSON (open at chrome://tracing). The file is
+	// byte-identical across runs — observability never perturbs the
+	// simulation.
+	trace, err := gflink.ChromeTrace(gflink.TraceProcess{Name: "quickstart", Tracer: g.Obs.Tracer()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "building trace:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("quickstart-trace.json", trace, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "writing trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote quickstart-trace.json (%d spans: queue wait, H2D, kernel, D2H per GWork)\n", g.Obs.Tracer().Len())
 }

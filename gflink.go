@@ -36,6 +36,7 @@ import (
 	"gflink/internal/costmodel"
 	"gflink/internal/flink"
 	"gflink/internal/gstruct"
+	"gflink/internal/obs"
 	"gflink/internal/plan"
 )
 
@@ -67,6 +68,13 @@ type (
 	Field = gstruct.Field
 	// GPUProfile describes a device generation.
 	GPUProfile = costmodel.GPUProfile
+	// StreamConfig configures a GStreamManager (used by advanced
+	// embedders; deployments built with New wire it automatically).
+	StreamConfig = core.StreamConfig
+	// WorkReport is a completed GWork's execution report.
+	WorkReport = obs.WorkReport
+	// SchedulerStats are a GStreamManager's scheduling counters.
+	SchedulerStats = obs.SchedulerStats
 )
 
 // Deployment constructors.
@@ -127,6 +135,48 @@ const (
 	ForceCPU  = plan.ForceCPU
 	ForceGPU  = plan.ForceGPU
 )
+
+// Observability: spans, metrics and trace export. Every deployment
+// carries an Observability under GFlink.Obs; these aliases expose the
+// layer without importing internal packages. All span timestamps come
+// from the virtual clock, so traces are byte-identical across runs.
+type (
+	// Observability bundles a deployment's tracer and metrics registry.
+	Observability = obs.Observability
+	// Tracer records deterministic spans.
+	Tracer = obs.Tracer
+	// TraceSpan is one recorded span.
+	TraceSpan = obs.Span
+	// TraceAttr is one span attribute.
+	TraceAttr = obs.Attr
+	// TraceProcess groups one tracer's spans under a process name in a
+	// Chrome trace export.
+	TraceProcess = obs.TraceProcess
+	// MetricsRegistry is a named-counter registry.
+	MetricsRegistry = obs.Registry
+	// Metric is one named counter value in a registry snapshot.
+	Metric = obs.Metric
+)
+
+// Observability constructors and trace export.
+var (
+	// NewTracer builds a standalone span tracer.
+	NewTracer = obs.NewTracer
+	// NewMetrics builds a standalone metrics registry.
+	NewMetrics = obs.NewRegistry
+	// ChromeTrace serializes tracers as Chrome trace_event JSON.
+	ChromeTrace = obs.ChromeTrace
+	// WriteChromeTrace streams Chrome trace_event JSON to a writer.
+	WriteChromeTrace = obs.WriteChromeTrace
+	// ValidateChromeTrace checks trace bytes against the schema the
+	// exporter promises.
+	ValidateChromeTrace = obs.ValidateChromeTrace
+)
+
+// Explain renders a plan as text: placement decisions with cost-model
+// estimates, the stage list after chaining, and measured stage times
+// once the plan has executed.
+func Explain(p *Plan) string { return p.Explain() }
 
 // GStruct schema helpers.
 var (

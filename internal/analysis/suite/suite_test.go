@@ -41,6 +41,18 @@ func TestSuiteCoversPlanLayer(t *testing.T) {
 	}
 }
 
+// TestSuiteCoversObsLayer pins the scoping rules to the observability
+// layer: every analyzer must apply to gflink/internal/obs, because obs
+// carries invariant #8 — span timestamps come only from the virtual
+// clock — and the wallclock analyzer is what enforces it there.
+func TestSuiteCoversObsLayer(t *testing.T) {
+	for _, r := range suite.Rules() {
+		if r.Applies != nil && !r.Applies("gflink/internal/obs") {
+			t.Errorf("analyzer %q does not apply to gflink/internal/obs", r.Analyzer.Name)
+		}
+	}
+}
+
 // TestRepositoryIsClean runs the full gflink-vet suite over the module
 // (test files included), so `go test ./...` fails the moment a
 // determinism, lock-discipline or buffer-lifecycle violation lands.

@@ -17,7 +17,7 @@ func init() {
 		Run: func(scale int64) *Table {
 			t := &Table{ID: "fig8a", Title: "GPU cache effect on SpMV", Paper: "uncached iterations pay the matrix transfer every time", Header: []string{"iteration", "with cache", "without cache"}}
 			p := workloads.SpMVParams{MatrixBytes: 1 << 30, NNZPerRow: 4, Iterations: 8, Seed: 7}
-			run := func(cache bool) workloads.Result {
+			run := func(cache bool) (workloads.Result, int64) {
 				g := paperSpec(1, 2, scaled(50_000, scale)).Build()
 				var r workloads.Result
 				g.Run(func() {
@@ -25,12 +25,16 @@ func init() {
 					pc.UseCache = cache
 					r = workloads.SpMVGPU(g, pc)
 				})
-				return r
+				return r, g.Obs.Metrics().Total("cache.hits")
 			}
-			with, without := run(true), run(false)
+			with, hitsWith := run(true)
+			without, hitsWithout := run(false)
 			for i := range with.Iterations {
 				t.AddRow(fmt.Sprint(i+1), secs(with.Iterations[i]), secs(without.Iterations[i]))
 			}
+			// The registry note precedes the steady-state note: Check
+			// parses the ratio from the LAST note.
+			t.Note("gpu cache registry: %d hits with cache, %d without", hitsWith, hitsWithout)
 			steady := len(with.Iterations) - 2
 			t.Note("steady-state: uncached/cached = %.2fx", float64(without.Iterations[steady])/float64(with.Iterations[steady]))
 			return t
@@ -48,6 +52,26 @@ func init() {
 			}
 			if r < 1.80 || r > 1.88 {
 				return fmt.Errorf("fig8a: steady-state uncached/cached = %.2fx, pinned band is [1.80, 1.88]", r)
+			}
+			// The metrics registry must agree with the figure's premise:
+			// the cached run hits the GPU cache, the uncached run never
+			// does.
+			var hitsWith, hitsWithout int64
+			found := false
+			for _, n := range t.Notes {
+				if _, err := fmt.Sscanf(n, "gpu cache registry: %d hits with cache, %d without", &hitsWith, &hitsWithout); err == nil {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("fig8a: missing gpu cache registry note")
+			}
+			if hitsWith <= 0 {
+				return fmt.Errorf("fig8a: cached run recorded %d cache hits, want > 0", hitsWith)
+			}
+			if hitsWithout != 0 {
+				return fmt.Errorf("fig8a: uncached run recorded %d cache hits, want 0", hitsWithout)
 			}
 			return nil
 		},

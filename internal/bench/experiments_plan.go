@@ -16,7 +16,7 @@ func init() {
 		Paper: "Flink's operator chaining: fusing narrow operators removes per-operator task deployment and downstream per-record iterator overhead",
 		Run: func(scale int64) *Table {
 			t := &Table{ID: "abl-chaining", Title: "Operator chaining ablation",
-				Paper: "fused chain = one deploy + one record-overhead pass; unfused pays both per operator",
+				Paper:  "fused chain = one deploy + one record-overhead pass; unfused pays both per operator",
 				Header: []string{"plan", "pipeline time", "vs chained"}}
 			chained := runChainPipeline(false, scale)
 			unchained := runChainPipeline(true, scale)

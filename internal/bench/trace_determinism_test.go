@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gflink/internal/obs"
+)
+
+// fig8aTrace runs fig8a with tracing and returns the Chrome trace
+// bytes. fig8a is the golden-trace experiment: two single-node SpMV
+// deployments (cached and uncached), so the trace exercises queue
+// waits, the three-stage pipeline, cache hit/miss annotations and
+// multi-process export.
+func fig8aTrace(t *testing.T) []byte {
+	t.Helper()
+	e, ok := ByID("fig8a")
+	if !ok {
+		t.Fatal("fig8a not registered")
+	}
+	_, procs := RunTraced(e, testScale)
+	if len(procs) != 2 {
+		t.Fatalf("fig8a built %d deployments, want 2 (cached + uncached)", len(procs))
+	}
+	data, err := obs.ChromeTrace(procs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFig8aTraceDeterministic is the tentpole guarantee: the span
+// stream is a pure function of the simulated schedule, so the exported
+// trace is byte-identical across repeat runs and GOMAXPROCS settings
+// (the CI race job runs this with -race, catching any unsynchronized
+// recording).
+func TestFig8aTraceDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	single := fig8aTrace(t)
+	runtime.GOMAXPROCS(4)
+	multi := fig8aTrace(t)
+	repeat := fig8aTrace(t)
+	if !bytes.Equal(single, multi) {
+		t.Error("trace differs between GOMAXPROCS=1 and GOMAXPROCS=4")
+	}
+	if !bytes.Equal(multi, repeat) {
+		t.Error("trace differs between repeat runs at the same GOMAXPROCS")
+	}
+}
+
+func TestFig8aTraceSchemaAndContent(t *testing.T) {
+	data := fig8aTrace(t)
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"args":{"name":"fig8a#0"}`, // cached deployment's process row
+		`"args":{"name":"fig8a#1"}`, // uncached deployment's process row
+		`"cat":"queue"`,             // queue-wait spans
+		`"cat":"gwork"`,             // per-GWork spans
+		`"name":"h2d"`,              // pipeline stage children
+		`"name":"kernel"`,
+		`"name":"d2h"`,
+		`"cache_hits"`, // cache annotations on gwork spans
+		`"stolen_from"`,
+		`w0/gpu0/s0`, // stream tracks
+		`w0/gpu0/queue`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+// TestTracedRunMatchesUntraced pins the "observability changes no
+// simulated result" invariant end to end: the rendered table of a
+// traced run is identical to an untraced one.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	e, ok := ByID("fig8a")
+	if !ok {
+		t.Fatal("fig8a not registered")
+	}
+	traced, procs := RunTraced(e, testScale)
+	plain := e.Run(testScale)
+	if traced.String() != plain.String() {
+		t.Errorf("traced table differs from untraced:\n%s\nvs\n%s", traced.String(), plain.String())
+	}
+	total := 0
+	for _, p := range procs {
+		total += p.Tracer.Len()
+	}
+	if total == 0 {
+		t.Error("traced run recorded no spans")
+	}
+}

@@ -97,9 +97,15 @@ func TestGWorkEndToEnd(t *testing.T) {
 		if w.Device() == nil {
 			t.Error("no device recorded")
 		}
-		h2d, k, _ := w.Timings()
-		if h2d <= 0 || k <= 0 {
-			t.Errorf("timings h2d=%v kernel=%v", h2d, k)
+		rep := w.Report()
+		if rep.H2D <= 0 || rep.Kernel <= 0 {
+			t.Errorf("timings h2d=%v kernel=%v", rep.H2D, rep.Kernel)
+		}
+		if rep.DeviceID != w.Device().ID || rep.Worker != 0 {
+			t.Errorf("report location = gpu%d/w%d, want gpu%d/w0", rep.DeviceID, rep.Worker, w.Device().ID)
+		}
+		if rep.StolenFrom != -1 {
+			t.Errorf("directly dispatched work reports steal origin %d", rep.StolenFrom)
 		}
 		// Scratch buffers must be freed afterwards.
 		if used := w.Device().UsedBytes(); used != 0 {
@@ -136,8 +142,11 @@ func TestCacheSkipsSecondTransfer(t *testing.T) {
 			t.Fatal(err)
 		}
 		first := g.Clock.Now() - tBefore
-		if w1.CacheHits() != 0 {
-			t.Errorf("first run had %d cache hits", w1.CacheHits())
+		if w1.Report().CacheHits != 0 {
+			t.Errorf("first run had %d cache hits", w1.Report().CacheHits)
+		}
+		if w1.Report().CacheMisses != 1 {
+			t.Errorf("first run cache misses = %d, want 1", w1.Report().CacheMisses)
 		}
 		t0 := g.Clock.Now()
 		// Second work over the same cached block.
@@ -154,8 +163,8 @@ func TestCacheSkipsSecondTransfer(t *testing.T) {
 			t.Fatal(err)
 		}
 		second := g.Clock.Now() - t0
-		if w2.CacheHits() != 1 {
-			t.Errorf("second run cache hits = %d, want 1", w2.CacheHits())
+		if w2.Report().CacheHits != 1 {
+			t.Errorf("second run cache hits = %d, want 1", w2.Report().CacheHits)
 		}
 		// The second run skips the input H2D (roughly half the transfer
 		// volume): it must be decisively faster.
@@ -301,7 +310,7 @@ func TestLocalitySchedulingPrefersCachedGPU(t *testing.T) {
 			if w.Device() != first {
 				t.Fatalf("work %d ran on %v, cache lives on %v", i, w.Device().ID, first.ID)
 			}
-			if w.CacheHits() != 1 {
+			if w.Report().CacheHits != 1 {
 				t.Fatalf("work %d missed the cache", i)
 			}
 		}
@@ -368,8 +377,7 @@ func TestWorkStealingDrainsForeignQueue(t *testing.T) {
 		if len(devs) != 2 {
 			t.Errorf("stealing did not engage the second GPU: %v", devs)
 		}
-		_, _, steals := g.Manager(0).Streams.Stats()
-		if steals == 0 {
+		if st := g.Manager(0).Streams.Stats(); st.Steals == 0 {
 			t.Error("no steals recorded")
 		}
 		g.ReleaseJobCaches(1)
@@ -411,9 +419,8 @@ func TestStealingDisabledKeepsWorkHome(t *testing.T) {
 			// pool-queued work must only drain on the cache-owning GPU.
 			_ = cacheDev
 		}
-		_, _, steals := g.Manager(0).Streams.Stats()
-		if steals != 0 {
-			t.Errorf("stealing disabled but %d steals happened", steals)
+		if st := g.Manager(0).Streams.Stats(); st.Steals != 0 {
+			t.Errorf("stealing disabled but %d steals happened", st.Steals)
 		}
 		g.ReleaseJobCaches(1)
 	})

@@ -6,6 +6,7 @@ import (
 	"gflink/internal/costmodel"
 	"gflink/internal/flink"
 	"gflink/internal/gpu"
+	"gflink/internal/obs"
 )
 
 // Config extends the baseline cluster configuration with the GPU-side
@@ -45,6 +46,10 @@ type GFlink struct {
 	*flink.Cluster
 	Cfg      Config
 	Managers []*GPUManager
+	// Obs collects the deployment's spans and counters. Observability
+	// only reads the virtual clock — it never charges time — so
+	// enabling it changes no simulated result.
+	Obs *obs.Observability
 }
 
 // GPUManager manages one worker's GPU computing resources (Fig. 1b):
@@ -70,7 +75,7 @@ func New(cfg Config) *GFlink {
 	if cfg.CacheBytesPerJob <= 0 {
 		cfg.CacheBytesPerJob = cfg.GPUProfile.MemBytes * 6 / 10
 	}
-	g := &GFlink{Cluster: cluster, Cfg: cfg}
+	g := &GFlink{Cluster: cluster, Cfg: cfg, Obs: obs.New()}
 	devID := 0
 	for w := 0; w < cfg.Config.Workers; w++ {
 		wrapper := NewCUDAWrapper(cluster.Clock, cfg.Config.Model)
@@ -82,7 +87,16 @@ func New(cfg Config) *GFlink {
 			mgr.Devices = append(mgr.Devices, dev)
 			mems = append(mems, NewGMemoryManager(dev, wrapper, cfg.CacheBytesPerJob, cfg.CachePolicy))
 		}
-		mgr.Streams = NewGStreamManager(cluster.Clock, wrapper, mems, cfg.StreamsPerGPU, cfg.Scheduler, !cfg.DisableStealing)
+		mgr.Streams = NewStreamManager(StreamConfig{
+			Clock:         cluster.Clock,
+			Wrapper:       wrapper,
+			Memories:      mems,
+			StreamsPerGPU: cfg.StreamsPerGPU,
+			Policy:        cfg.Scheduler,
+			NoStealing:    cfg.DisableStealing,
+			Tracer:        g.Obs.Tracer(),
+			Metrics:       g.Obs.Metrics(),
+		})
 		g.Managers = append(g.Managers, mgr)
 	}
 	return g
@@ -94,7 +108,7 @@ func New(cfg Config) *GFlink {
 func NewHetero(cfg Config, profiles [][]costmodel.GPUProfile) *GFlink {
 	cluster := flink.NewCluster(cfg.Config)
 	cfg.Config = cluster.Cfg
-	g := &GFlink{Cluster: cluster, Cfg: cfg}
+	g := &GFlink{Cluster: cluster, Cfg: cfg, Obs: obs.New()}
 	devID := 0
 	for w := 0; w < cfg.Config.Workers; w++ {
 		wrapper := NewCUDAWrapper(cluster.Clock, cfg.Config.Model)
@@ -110,7 +124,16 @@ func NewHetero(cfg Config, profiles [][]costmodel.GPUProfile) *GFlink {
 			mgr.Devices = append(mgr.Devices, dev)
 			mems = append(mems, NewGMemoryManager(dev, wrapper, cap, cfg.CachePolicy))
 		}
-		mgr.Streams = NewGStreamManager(cluster.Clock, wrapper, mems, cfg.StreamsPerGPU, cfg.Scheduler, !cfg.DisableStealing)
+		mgr.Streams = NewStreamManager(StreamConfig{
+			Clock:         cluster.Clock,
+			Wrapper:       wrapper,
+			Memories:      mems,
+			StreamsPerGPU: cfg.StreamsPerGPU,
+			Policy:        cfg.Scheduler,
+			NoStealing:    cfg.DisableStealing,
+			Tracer:        g.Obs.Tracer(),
+			Metrics:       g.Obs.Metrics(),
+		})
 		g.Managers = append(g.Managers, mgr)
 	}
 	return g

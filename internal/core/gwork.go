@@ -25,6 +25,7 @@ import (
 
 	"gflink/internal/gpu"
 	"gflink/internal/membuf"
+	"gflink/internal/obs"
 	"gflink/internal/vclock"
 )
 
@@ -77,9 +78,11 @@ type GWork struct {
 	done   *vclock.Event
 	err    error
 	device *gpu.Device
-	// timings for experiments
-	h2dTime, kernelTime, d2hTime time.Duration
-	cacheHits                    int
+	// scheduler bookkeeping: submission time and steal origin (set by
+	// Submit / stealLocked), folded into report by the stream worker.
+	submitT    time.Duration
+	stolenFrom int
+	report     obs.WorkReport
 }
 
 // Wait blocks until the work completes and returns its error.
@@ -91,13 +94,11 @@ func (w *GWork) Wait() error {
 // Device returns the GPU that executed the work (after Wait).
 func (w *GWork) Device() *gpu.Device { return w.device }
 
-// CacheHits reports how many inputs were served from the GPU cache.
-func (w *GWork) CacheHits() int { return w.cacheHits }
-
-// Timings returns the three pipeline stage durations (after Wait).
-func (w *GWork) Timings() (h2d, kernel, d2h time.Duration) {
-	return w.h2dTime, w.kernelTime, w.d2hTime
-}
+// Report returns the execution report (after Wait): queue wait, the
+// three pipeline stage durations, cache hit/miss counts, and where the
+// work ran — everything the old Timings/CacheHits accessors exposed,
+// as one named struct the observability layer consumes directly.
+func (w *GWork) Report() obs.WorkReport { return w.report }
 
 // totalCachedBytes sums the nominal sizes of the cache-flagged inputs.
 func (w *GWork) totalCachedBytes() int64 {

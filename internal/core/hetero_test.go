@@ -36,8 +36,7 @@ func TestNewHeteroProfilesPerDevice(t *testing.T) {
 			if err := w.Wait(); err != nil {
 				t.Fatal(err)
 			}
-			_, k, _ := w.Timings()
-			return k
+			return w.Report().Kernel
 		}
 		c2050 := run(0)
 		p100 := run(1)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"gflink/internal/gpu"
+	"gflink/internal/obs"
 )
 
 // CachePolicy selects the garbage-collection scheme of a cache region
@@ -33,6 +34,11 @@ type GMemoryManager struct {
 	// regionCap is the per-job cache-region capacity in nominal bytes
 	// (the user-defined parameter of Section 4.2.2).
 	regionCap int64
+	// metrics receives the cache counters ("cache.<event>.gpu<ID>");
+	// nil until observe wires a registry. suffix is the precomputed
+	// ".gpu<ID>" counter-name tail.
+	metrics *obs.Registry
+	suffix  string
 
 	mu      sync.Mutex
 	regions map[int]*cacheRegion // by job ID
@@ -59,9 +65,17 @@ func NewGMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, p
 		wrapper:   wrapper,
 		policy:    policy,
 		regionCap: regionCap,
+		suffix:    fmt.Sprintf(".gpu%d", dev.ID),
 		regions:   make(map[int]*cacheRegion),
 	}
 }
+
+// observe directs the cache counters to r (wired by NewStreamManager,
+// which shares one registry across a worker's devices).
+func (m *GMemoryManager) observe(r *obs.Registry) { m.metrics = r }
+
+// count bumps this device's counter for one cache event.
+func (m *GMemoryManager) count(event string) { m.metrics.Add("cache."+event+m.suffix, 1) }
 
 // Device returns the managed device.
 func (m *GMemoryManager) Device() *gpu.Device { return m.dev }
@@ -89,9 +103,11 @@ func (m *GMemoryManager) Acquire(key CacheKey) (*gpu.Buffer, bool) {
 	r := m.region(key.JobID)
 	e, ok := r.entries[key]
 	if !ok {
+		m.count("misses")
 		return nil, false
 	}
 	e.refs++
+	m.count("hits")
 	return e.buf, true
 }
 
@@ -115,16 +131,20 @@ func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bo
 	defer m.mu.Unlock()
 	r := m.region(key.JobID)
 	if _, dup := r.entries[key]; dup {
+		m.count("rejects")
 		return false
 	}
 	if nominal > r.capacity {
+		m.count("rejects")
 		return false
 	}
 	for r.used+nominal > r.capacity {
 		if m.policy == StopWhenFull {
+			m.count("stop")
 			return false
 		}
 		if !m.evictOldestLocked(r) {
+			m.count("rejects")
 			return false // everything pinned
 		}
 	}
@@ -132,6 +152,7 @@ func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bo
 	e.elem = r.fifo.PushBack(key)
 	r.entries[key] = e
 	r.used += nominal
+	m.count("inserts")
 	return true
 }
 
@@ -148,6 +169,7 @@ func (m *GMemoryManager) evictOldestLocked(r *cacheRegion) bool {
 		delete(r.entries, key)
 		r.used -= e.nominal
 		m.dev.Free(e.buf)
+		m.count("evictions")
 		return true
 	}
 	return false

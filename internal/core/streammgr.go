@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gflink/internal/gpu"
+	"gflink/internal/obs"
 	"gflink/internal/vclock"
 )
 
@@ -30,6 +31,9 @@ type GStreamManager struct {
 	wrapper  *CUDAWrapper
 	policy   SchedulerPolicy
 	stealing bool
+	tracer   *obs.Tracer
+	metrics  *obs.Registry
+	node     int // worker index, used in metric names
 
 	mu   sync.Mutex
 	devs []*deviceState
@@ -48,6 +52,10 @@ type deviceState struct {
 	queue   []*GWork        // this GPU's FIFO queue in the GWork Pool
 	idle    []*streamWorker // idle streams of this bulk
 	streams []*streamWorker
+	// queueTrack is the trace track carrying this device's queue-wait
+	// spans (kept off the stream tracks so parked work never overlaps
+	// an executing span).
+	queueTrack string
 	// budget bounds the transient device memory of in-flight works
 	// (device capacity minus the cache region), so concurrent streams
 	// backpressure instead of running the device out of memory.
@@ -60,41 +68,124 @@ type streamWorker struct {
 	ds     *deviceState
 	stream *gpu.Stream
 	inbox  *vclock.Queue[*GWork]
+	track  string // trace track of this stream's pipeline spans
 }
 
-// NewGStreamManager builds the manager over the given device states.
-// streamsPerGPU streams are created per device; all start idle.
-func NewGStreamManager(clock *vclock.Clock, wrapper *CUDAWrapper, mems []*GMemoryManager, streamsPerGPU int, policy SchedulerPolicy, stealing bool) *GStreamManager {
-	if streamsPerGPU <= 0 {
-		streamsPerGPU = 4
+// StreamConfig configures a GStreamManager. Clock, Wrapper and
+// Memories are required; the zero value of every other field selects
+// the default — 4 streams per GPU, Algorithm 5.1 scheduling, stealing
+// enabled, no tracing.
+type StreamConfig struct {
+	Clock   *vclock.Clock
+	Wrapper *CUDAWrapper
+	// Memories holds one GMemoryManager per device of this worker.
+	Memories []*GMemoryManager
+	// StreamsPerGPU sizes each GStream Pool bulk (0 means 4).
+	StreamsPerGPU int
+	// Policy selects Algorithm 5.1 (default) or the RoundRobin ablation.
+	Policy SchedulerPolicy
+	// NoStealing disables Algorithm 5.2 (the zero value keeps it on).
+	NoStealing bool
+	// Tracer, when set, receives a span tree per executed GWork.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives the scheduler counters and every
+	// device's cache counters.
+	Metrics *obs.Registry
+}
+
+// StreamOption mutates a StreamConfig before construction.
+type StreamOption func(*StreamConfig)
+
+// WithTracer directs per-GWork span trees to t.
+func WithTracer(t *obs.Tracer) StreamOption {
+	return func(c *StreamConfig) { c.Tracer = t }
+}
+
+// WithMetrics directs scheduler and cache counters to r.
+func WithMetrics(r *obs.Registry) StreamOption {
+	return func(c *StreamConfig) { c.Metrics = r }
+}
+
+// WithStealing enables or disables Algorithm 5.2.
+func WithStealing(enabled bool) StreamOption {
+	return func(c *StreamConfig) { c.NoStealing = !enabled }
+}
+
+// WithPolicy selects the scheduling policy.
+func WithPolicy(p SchedulerPolicy) StreamOption {
+	return func(c *StreamConfig) { c.Policy = p }
+}
+
+// WithStreamsPerGPU sizes each GStream Pool bulk.
+func WithStreamsPerGPU(n int) StreamOption {
+	return func(c *StreamConfig) { c.StreamsPerGPU = n }
+}
+
+// NewStreamManager builds the manager from cfg with opts applied.
+// StreamsPerGPU streams are created per device; all start idle.
+func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
+	for _, o := range opts {
+		o(&cfg)
 	}
-	m := &GStreamManager{clock: clock, wrapper: wrapper, policy: policy, stealing: stealing}
-	for i, mem := range mems {
+	if cfg.StreamsPerGPU <= 0 {
+		cfg.StreamsPerGPU = 4
+	}
+	m := &GStreamManager{
+		clock: cfg.Clock, wrapper: cfg.Wrapper,
+		policy: cfg.Policy, stealing: !cfg.NoStealing,
+		tracer: cfg.Tracer, metrics: cfg.Metrics,
+	}
+	if len(cfg.Memories) > 0 {
+		m.node = cfg.Memories[0].Device().Node
+	}
+	for i, mem := range cfg.Memories {
+		mem.observe(cfg.Metrics)
 		budgetCap := mem.Device().Profile.MemBytes - mem.RegionCap()
 		if min := mem.Device().Profile.MemBytes / 4; budgetCap < min {
 			budgetCap = min
 		}
 		ds := &deviceState{
 			idx: i, dev: mem.Device(), mem: mem,
-			budget:    vclock.NewSemaphore(clock, fmt.Sprintf("gpu%d-membudget", mem.Device().ID), budgetCap),
-			budgetCap: budgetCap,
+			queueTrack: fmt.Sprintf("w%d/gpu%d/queue", mem.Device().Node, i),
+			budget:     vclock.NewSemaphore(cfg.Clock, fmt.Sprintf("gpu%d-membudget", mem.Device().ID), budgetCap),
+			budgetCap:  budgetCap,
 		}
-		for s := 0; s < streamsPerGPU; s++ {
+		for s := 0; s < cfg.StreamsPerGPU; s++ {
 			sw := &streamWorker{
 				mgr: m,
 				ds:  ds,
 				// Streams are created at deployment startup, before any
 				// measured job, so no control-channel time is charged.
-				stream: mem.Device().NewStream(wrapper.model.CPU),
-				inbox:  vclock.NewQueue[*GWork](clock),
+				stream: mem.Device().NewStream(cfg.Wrapper.model.CPU),
+				inbox:  vclock.NewQueue[*GWork](cfg.Clock),
+				track:  fmt.Sprintf("w%d/gpu%d/s%d", mem.Device().Node, i, s),
 			}
 			ds.streams = append(ds.streams, sw)
 			ds.idle = append(ds.idle, sw)
-			clock.Go(fmt.Sprintf("gstream-w%d-g%d-s%d", mem.Device().Node, i, s), sw.run)
+			cfg.Clock.Go(fmt.Sprintf("gstream-w%d-g%d-s%d", mem.Device().Node, i, s), sw.run)
 		}
 		m.devs = append(m.devs, ds)
 	}
 	return m
+}
+
+// NewGStreamManager builds the manager from positional arguments.
+//
+// Deprecated: use NewStreamManager with a StreamConfig plus functional
+// options. This shim is kept for one release.
+func NewGStreamManager(clock *vclock.Clock, wrapper *CUDAWrapper, mems []*GMemoryManager, streamsPerGPU int, policy SchedulerPolicy, stealing bool) *GStreamManager {
+	return NewStreamManager(StreamConfig{
+		Clock:         clock,
+		Wrapper:       wrapper,
+		Memories:      mems,
+		StreamsPerGPU: streamsPerGPU,
+		Policy:        policy,
+	}, WithStealing(stealing))
+}
+
+// count bumps a per-worker scheduler counter.
+func (m *GStreamManager) count(name string) {
+	m.metrics.Add(fmt.Sprintf("%s.w%d", name, m.node), 1)
 }
 
 // Devices returns the number of GPUs managed.
@@ -124,12 +215,12 @@ func (m *GStreamManager) Close() {
 	}
 }
 
-// Stats reports scheduling counters (direct dispatches to idle streams,
-// pool enqueues, steals).
-func (m *GStreamManager) Stats() (direct, pooled, steals int64) {
+// Stats reports the scheduling counters (direct dispatches to idle
+// streams, GWork Pool enqueues, steals) as one snapshot.
+func (m *GStreamManager) Stats() obs.SchedulerStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.directDispatch, m.pooled, m.steals
+	return obs.SchedulerStats{Direct: m.directDispatch, Pooled: m.pooled, Steals: m.steals}
 }
 
 // Submit schedules w per Algorithm 5.1. It never blocks the producer:
@@ -138,6 +229,8 @@ func (m *GStreamManager) Submit(w *GWork) {
 	if w.done == nil {
 		w.done = vclock.NewEvent(m.clock)
 	}
+	w.submitT = m.clock.Now()
+	w.stolenFrom = -1
 	m.mu.Lock()
 	gid := m.pickGPULocked(w)
 
@@ -159,10 +252,12 @@ func (m *GStreamManager) Submit(w *GWork) {
 		}
 		m.devs[q].queue = append(m.devs[q].queue, w)
 		m.pooled++
+		m.count("sched.pooled")
 		m.mu.Unlock()
 		return
 	}
 	m.directDispatch++
+	m.count("sched.direct")
 	m.mu.Unlock()
 	sw.inbox.Put(w)
 }
@@ -249,6 +344,8 @@ func (m *GStreamManager) stealLocked(gid int) *GWork {
 	w := m.devs[best].queue[0]
 	m.devs[best].queue = m.devs[best].queue[1:]
 	m.steals++
+	w.stolenFrom = m.devs[best].dev.ID
+	m.count("sched.steals")
 	return w
 }
 
@@ -309,6 +406,9 @@ func (sw *streamWorker) exec(w *GWork) {
 		acquired []CacheKey
 		toCache  []int // indices of w.In to insert after transfer
 		toFree   []*gpu.Buffer
+
+		tStart                 time.Duration
+		cacheHits, cacheMisses int
 	)
 	// malloc with cache-reclaim fallback: when device memory is tight,
 	// evict unpinned cache entries and retry once.
@@ -329,19 +429,27 @@ func (sw *streamWorker) exec(w *GWork) {
 		}
 		w.err = err
 		w.device = dev
+		w.report = obs.WorkReport{
+			DeviceID: dev.ID, Worker: dev.Node,
+			QueueWait:   tStart - w.submitT,
+			CacheHits:   cacheHits,
+			CacheMisses: cacheMisses,
+			StolenFrom:  w.stolenFrom,
+		}
 		w.done.Set()
 	}
 
-	tStart := mgr.clock.Now()
+	tStart = mgr.clock.Now()
 	// Stage 1: host-to-device input transfers, skipping cache hits.
 	for i, in := range w.In {
 		if in.Cache {
 			if buf, ok := mem.Acquire(in.Key); ok {
 				devBufs[i] = buf
 				acquired = append(acquired, in.Key)
-				w.cacheHits++
+				cacheHits++
 				continue
 			}
+			cacheMisses++
 		}
 		buf, err := malloc(in.Nominal, len(in.Buf.Bytes()))
 		if err != nil {
@@ -407,13 +515,23 @@ func (sw *streamWorker) exec(w *GWork) {
 	}
 
 	tEnd := mgr.clock.Now()
-	w.h2dTime = tAfterH2D - tStart
-	w.kernelTime = kernelDur
-	w.d2hTime = tEnd - tAfterH2D - kernelDur
-	if w.d2hTime < 0 {
-		w.d2hTime = 0
+	d2h := tEnd - tAfterH2D - kernelDur
+	if d2h < 0 {
+		d2h = 0
+	}
+	w.report = obs.WorkReport{
+		DeviceID: dev.ID, Worker: dev.Node,
+		QueueWait:   tStart - w.submitT,
+		H2D:         tAfterH2D - tStart,
+		Kernel:      kernelDur,
+		D2H:         d2h,
+		CacheHits:   cacheHits,
+		CacheMisses: cacheMisses,
+		StolenFrom:  w.stolenFrom,
 	}
 	w.err = kerr
 	w.device = dev
+	mgr.tracer.RecordGWork(sw.track, sw.ds.queueTrack, w.ExecuteName,
+		w.submitT, tStart, w.report, obs.Int("job", int64(w.JobID)))
 	w.done.Set()
 }

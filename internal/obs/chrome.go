@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceProcess is one tracer exported as a Chrome trace process row —
+// typically one GFlink deployment.
+type TraceProcess struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// chromeEvent is one trace_event entry: "X" complete events carry the
+// spans, "M" metadata events name the process and thread rows.
+// Timestamps and durations are microseconds (the format's unit).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func micros(d int64) float64 { return float64(d) / 1e3 }
+
+// ChromeTrace serializes the given processes as Chrome trace_event
+// JSON, loadable in chrome://tracing and Perfetto. The output is a
+// pure function of the recorded spans: thread ids come from sorted
+// track names, spans are ordered by (start, recording sequence), and
+// json.Marshal sorts every args map — so traces of a deterministic
+// simulation are byte-identical across runs.
+func ChromeTrace(procs ...TraceProcess) ([]byte, error) {
+	evs := []chromeEvent{}
+	for pid, p := range procs {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		spans := p.Tracer.Spans()
+		tids := make(map[string]int, 8)
+		tracks := make([]string, 0, 8)
+		for _, s := range spans {
+			if _, ok := tids[s.Track]; !ok {
+				tids[s.Track] = 0
+				tracks = append(tracks, s.Track)
+			}
+		}
+		sort.Strings(tracks)
+		for tid, track := range tracks {
+			tids[track] = tid
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": track},
+			})
+		}
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].Seq < spans[j].Seq
+		})
+		for _, s := range spans {
+			ev := chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X",
+				Ts:  micros(int64(s.Start)),
+				Dur: micros(int64(s.End - s.Start)),
+				Pid: pid, Tid: tids[s.Track],
+			}
+			if len(s.Attrs) > 0 {
+				ev.Args = make(map[string]any, len(s.Attrs))
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = a.Val
+				}
+			}
+			evs = append(evs, ev)
+		}
+	}
+	return json.Marshal(chromeFile{TraceEvents: evs})
+}
+
+// WriteChromeTrace writes ChromeTrace's output to w.
+func WriteChromeTrace(w io.Writer, procs ...TraceProcess) error {
+	data, err := ChromeTrace(procs...)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateChromeTrace checks that data is structurally valid Chrome
+// trace_event JSON as this package emits it: a traceEvents array whose
+// entries are either "X" complete events (name, non-negative ts/dur,
+// pid, tid) or "M" process/thread metadata events carrying args.name.
+func ValidateChromeTrace(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, e := range f.TraceEvents {
+		name, _ := e["name"].(string)
+		if name == "" {
+			return fmt.Errorf("obs: event %d: missing name", i)
+		}
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "X":
+			ts, ok := e["ts"].(float64)
+			if !ok || ts < 0 {
+				return fmt.Errorf("obs: event %d (%s): bad ts %v", i, name, e["ts"])
+			}
+			if d, present := e["dur"]; present {
+				if dur, ok := d.(float64); !ok || dur < 0 {
+					return fmt.Errorf("obs: event %d (%s): bad dur %v", i, name, d)
+				}
+			}
+			if _, ok := e["pid"].(float64); !ok {
+				return fmt.Errorf("obs: event %d (%s): missing pid", i, name)
+			}
+			if _, ok := e["tid"].(float64); !ok {
+				return fmt.Errorf("obs: event %d (%s): missing tid", i, name)
+			}
+		case "M":
+			if name != "process_name" && name != "thread_name" {
+				return fmt.Errorf("obs: event %d: unknown metadata event %q", i, name)
+			}
+			args, ok := e["args"].(map[string]any)
+			if !ok {
+				return fmt.Errorf("obs: event %d (%s): metadata without args", i, name)
+			}
+			if v, ok := args["name"].(string); !ok || v == "" {
+				return fmt.Errorf("obs: event %d (%s): metadata without args.name", i, name)
+			}
+		default:
+			return fmt.Errorf("obs: event %d (%s): unsupported phase %q", i, name, ph)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package obs is GFlink's deterministic observability layer: a span
+// tracer and a metrics registry threaded through the execution stack
+// (GStreamManager, GMemoryManager, the plan layer), exporting Chrome
+// trace_event JSON and snapshot-able counters.
+//
+// Determinism is the design constraint (invariant #8 of DESIGN.md):
+// this package holds no time source at all. Every timestamp is a
+// virtual-clock duration passed in by the caller, so a trace is a pure
+// function of the simulated schedule — byte-identical across runs,
+// GOMAXPROCS settings and host machines, and enabling it changes no
+// simulated time. The gflink-vet wallclock analyzer guarantees no host
+// time can leak in; span sequence numbers are deterministic because
+// the virtual clock runs exactly one process at a time.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one span annotation (a Chrome trace "args" entry). Values
+// must be JSON-marshalable; use the Str/Int/Dur/Bool constructors.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Val: v} }
+
+// Dur builds a duration attribute, rendered in Go's duration syntax.
+func Dur(k string, d time.Duration) Attr { return Attr{Key: k, Val: d.String()} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
+
+// Span is one completed interval on a named track. Tracks are logical
+// execution lanes ("driver", "w0/gpu1/s2", ...); the Chrome exporter
+// maps them to thread rows.
+type Span struct {
+	Track string
+	Cat   string
+	Name  string
+	Start time.Duration
+	End   time.Duration
+	Attrs []Attr
+	// Seq is the recording order, deterministic under the cooperative
+	// virtual-clock scheduler; the exporter uses it to break Start ties.
+	Seq uint64
+}
+
+// Dur returns the span's length.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Tracer collects spans. All methods are nil-safe no-ops, so producers
+// can thread an optional tracer without guards.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	seq   uint64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Record appends one completed span. start and end must come from the
+// virtual clock (or be derived from virtual-clock readings).
+func (t *Tracer) Record(track, cat, name string, start, end time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{
+		Track: track, Cat: cat, Name: name,
+		Start: start, End: end, Attrs: attrs, Seq: t.seq,
+	})
+	t.seq++
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// WorkReport is the per-GWork execution report: where the work ran and
+// what each pipeline stage cost. GWork.Report returns it; RecordGWork
+// turns it into a span tree.
+type WorkReport struct {
+	// DeviceID and Worker locate the executing GPU.
+	DeviceID int
+	Worker   int
+	// QueueWait covers submission to pipeline start (GWork Pool time
+	// plus device-memory admission).
+	QueueWait time.Duration
+	// H2D, Kernel and D2H are the three pipeline stage durations.
+	H2D, Kernel, D2H time.Duration
+	// CacheHits and CacheMisses count the cache-flagged inputs served
+	// from (resp. transferred into) the GPU cache.
+	CacheHits, CacheMisses int
+	// StolenFrom is the device ID whose queue the work was stolen from
+	// (Algorithm 5.2), or -1 when it was dispatched normally.
+	StolenFrom int
+}
+
+// Pipeline returns the summed H2D + kernel + D2H time.
+func (r WorkReport) Pipeline() time.Duration { return r.H2D + r.Kernel + r.D2H }
+
+// RecordGWork emits the span tree of one GWork execution: the
+// queue-wait on the device's queue track, then the gwork span with its
+// H2D → kernel → D2H children on the executing stream's track,
+// annotated with device id, cache hits/misses and steal origin.
+func (t *Tracer) RecordGWork(streamTrack, queueTrack, name string, submit, start time.Duration, r WorkReport, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.Record(queueTrack, "queue", "queue:"+name, submit, start,
+		Int("device", int64(r.DeviceID)))
+	all := append([]Attr{
+		Int("device", int64(r.DeviceID)),
+		Int("worker", int64(r.Worker)),
+		Int("cache_hits", int64(r.CacheHits)),
+		Int("cache_misses", int64(r.CacheMisses)),
+		Int("stolen_from", int64(r.StolenFrom)),
+	}, attrs...)
+	t.Record(streamTrack, "gwork", name, start, start+r.Pipeline(), all...)
+	t.Record(streamTrack, "stage", "h2d", start, start+r.H2D)
+	t.Record(streamTrack, "stage", "kernel", start+r.H2D, start+r.H2D+r.Kernel)
+	t.Record(streamTrack, "stage", "d2h", start+r.H2D+r.Kernel, start+r.Pipeline())
+}
+
+// SchedulerStats is one snapshot of a GStreamManager's counters:
+// direct dispatches to idle streams, GWork Pool enqueues, and steals.
+type SchedulerStats struct {
+	Direct, Pooled, Steals int64
+}
+
+// Metric is one named counter value.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Registry is a set of named monotonic counters. Like the tracer it is
+// nil-safe, and snapshots are sorted so consumers never observe map
+// order.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{counters: make(map[string]int64)} }
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Get returns the named counter's value (0 when never incremented).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Total sums every counter whose name starts with prefix — e.g.
+// Total("cache.hits") aggregates the per-device "cache.hits.gpuN"
+// counters.
+func (r *Registry) Total(prefix string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for name, v := range r.counters { //gflink:unordered — summing ints
+		if strings.HasPrefix(name, prefix) {
+			n += v
+		}
+	}
+	return n
+}
+
+// Snapshot returns every counter sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Metric, 0, len(names))
+	for _, name := range names {
+		out = append(out, Metric{Name: name, Value: r.counters[name]})
+	}
+	return out
+}
+
+// Observability bundles the tracer and registry one deployment feeds.
+// A nil *Observability yields nil components, which are themselves
+// no-ops, so observability can be threaded unconditionally.
+type Observability struct {
+	tracer  *Tracer
+	metrics *Registry
+}
+
+// New returns a fresh tracer + registry pair.
+func New() *Observability {
+	return &Observability{tracer: NewTracer(), metrics: NewRegistry()}
+}
+
+// Tracer returns the span tracer.
+func (o *Observability) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Metrics returns the counter registry.
+func (o *Observability) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}

@@ -95,6 +95,7 @@ func fuseNode(members []*node) *node {
 		name:     name,
 		up:       members[0].up,
 		aliasFor: last,
+		chainLen: len(members),
 		run: func(ctx *Ctx, in any) any {
 			j := ctx.Job
 			eps := members[0].erase(in)

@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the plan as text: the planning options, every
+// placement decision with the cost-model estimates behind it, the
+// stage list after chaining, and — when the graph has executed — the
+// simulated time each stage actually took. Explain is read-only with
+// respect to simulation state: placement decisions are pure functions
+// of the cost model, so resolving an undecided group here yields the
+// same device Execute would pick, and nothing touches the clock.
+func (gr *Graph) Explain() string {
+	st := gr.st
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q (mode=%s, chaining=%s)\n",
+		gr.name, st.opts.Mode, onOff(!st.opts.DisableChaining))
+
+	if len(st.groupOrder) > 0 {
+		b.WriteString("placement:\n")
+		for _, group := range st.groupOrder {
+			d := st.place(group)
+			est := st.ests[group]
+			how := "auto"
+			if est.forced {
+				how = "forced"
+			}
+			fmt.Fprintf(&b, "  %-16s -> %-3s (%s; est cpu=%v gpu=%v)\n",
+				group, d, how, est.cpu, est.gpu)
+		}
+	}
+
+	nodes := gr.nodes
+	if !st.opts.DisableChaining {
+		nodes = fuseChains(nodes)
+	}
+	if len(nodes) > 0 {
+		b.WriteString("stages:\n")
+		for i, n := range nodes {
+			fmt.Fprintf(&b, "  %2d. %-12s %s", i, n.kind, n.name)
+			if n.chainLen > 0 {
+				fmt.Fprintf(&b, " [fused x%d]", n.chainLen)
+			}
+			if n.group != "" {
+				if _, declared := st.groups[n.group]; declared {
+					fmt.Fprintf(&b, " [%s -> %s]", n.group, st.place(n.group))
+				} else {
+					fmt.Fprintf(&b, " [group %s undeclared]", n.group)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	if len(st.actuals) > 0 {
+		b.WriteString("measured:\n")
+		names := make([]string, 0, len(st.actuals))
+		for name := range st.actuals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := st.actuals[name]
+			fmt.Fprintf(&b, "  %-40s %v", name, a.total)
+			if a.runs > 1 {
+				fmt.Fprintf(&b, " (%d runs)", a.runs)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}

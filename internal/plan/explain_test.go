@@ -1,0 +1,178 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/obs"
+)
+
+func TestExecuteEmitsDriverSpans(t *testing.T) {
+	g := testDeployment()
+	g.Run(func() {
+		var out []int64
+		gr, _ := numbersPipeline(g, Options{}, &out)
+		gr.Execute()
+	})
+	spans := g.Obs.Tracer().Spans()
+	if len(spans) == 0 {
+		t.Fatal("Execute recorded no spans")
+	}
+	byName := map[string]obs.Span{}
+	var stages, plans int
+	for _, s := range spans {
+		if s.Track != driverTrack {
+			continue
+		}
+		byName[s.Name] = s
+		switch s.Cat {
+		case "stage":
+			stages++
+		case "plan":
+			plans++
+		}
+	}
+	if plans != 1 {
+		t.Errorf("got %d plan spans, want 1", plans)
+	}
+	// Chaining fuses double+inc+odd+neg: source, chain, collect = 3.
+	if stages != 3 {
+		t.Errorf("got %d stage spans, want 3 (source, fused chain, collect)", stages)
+	}
+	p, ok := byName["plan:numbers"]
+	if !ok {
+		t.Fatal("missing plan:numbers span")
+	}
+	attrs := map[string]any{}
+	for _, a := range p.Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["mode"] != "auto" || attrs["chaining"] != true {
+		t.Errorf("plan span attrs = %v", attrs)
+	}
+	var chain obs.Span
+	found := false
+	for name, s := range byName {
+		if strings.HasPrefix(name, "chain:") {
+			chain, found = s, true
+		}
+	}
+	if !found {
+		t.Fatal("missing fused-chain span")
+	}
+	cattrs := map[string]any{}
+	for _, a := range chain.Attrs {
+		cattrs[a.Key] = a.Val
+	}
+	if cattrs["kind"] != "chain" || cattrs["fused"] != int64(4) {
+		t.Errorf("chain span attrs = %v, want kind=chain fused=4", cattrs)
+	}
+}
+
+func TestEitherSpanCarriesPlacementAndEstimates(t *testing.T) {
+	g := testDeployment()
+	// A group whose GPU estimate clearly wins (heavy flops, light PCIe).
+	cost := costmodel.StageCost{
+		Records:        50_000_000,
+		CPUPerRec:      costmodel.Work{Flops: 100, BytesRead: 64},
+		GPUWork:        costmodel.Work{Flops: 5e9},
+		HostToDevice:   64 << 20,
+		Executions:     10,
+		CacheResident:  true,
+		CPUParallelism: 8,
+		GPUParallelism: 4,
+	}
+	g.Run(func() {
+		gr := NewGraph(g, "either", Options{})
+		gr.PlaceGroup("kernel", cost)
+		src := Source(gr, "nums", func(ctx *Ctx) *flink.Dataset[int64] {
+			return flink.Generate(ctx.Job, "nums", 1000, 8, 8, func(part int, ord int64) int64 { return ord })
+		})
+		res := Either(src, "compute", "kernel",
+			func(ctx *Ctx, in *flink.Dataset[int64]) *flink.Dataset[int64] { return in },
+			func(ctx *Ctx, in *flink.Dataset[int64]) *flink.Dataset[int64] { return in })
+		Sink(res, "drop", func(ctx *Ctx, d *flink.Dataset[int64]) {})
+		gr.Execute()
+
+		d, ok := gr.Placement("kernel")
+		if !ok || d != GPU {
+			t.Fatalf("placement = %v/%v, want GPU", d, ok)
+		}
+	})
+	var either *obs.Span
+	for _, s := range g.Obs.Tracer().Spans() {
+		if s.Name == "either:compute" {
+			e := s
+			either = &e
+		}
+	}
+	if either == nil {
+		t.Fatal("missing either:compute span")
+	}
+	attrs := map[string]any{}
+	for _, a := range either.Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["group"] != "kernel" || attrs["placed"] != "GPU" {
+		t.Errorf("either attrs = %v, want group=kernel placed=GPU", attrs)
+	}
+	for _, k := range []string{"est_cpu", "est_gpu"} {
+		if v, ok := attrs[k].(string); !ok || v == "" || v == "0s" {
+			t.Errorf("either attr %s = %v, want a non-zero duration", k, attrs[k])
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	g := testDeployment()
+	var report string
+	g.Run(func() {
+		gr := NewGraph(g, "explained", Options{Mode: ForceCPU})
+		gr.PlaceGroup("work", costmodel.StageCost{
+			Records:        100,
+			CPUPerRec:      costmodel.Work{Flops: 4},
+			GPUWork:        costmodel.Work{Flops: 400},
+			HostToDevice:   1 << 30,
+			CPUParallelism: 8,
+			GPUParallelism: 4,
+		})
+		src := Source(gr, "nums", func(ctx *Ctx) *flink.Dataset[int64] {
+			return flink.Generate(ctx.Job, "nums", 1000, 8, 8, func(part int, ord int64) int64 { return ord })
+		})
+		w := costmodel.Work{Flops: 2, BytesRead: 8}
+		a := Map(src, "double", w, 8, func(v int64) int64 { return v * 2 })
+		b := Map(a, "inc", w, 8, func(v int64) int64 { return v + 1 })
+		res := Either(b, "compute", "work",
+			func(ctx *Ctx, in *flink.Dataset[int64]) *flink.Dataset[int64] { return in },
+			func(ctx *Ctx, in *flink.Dataset[int64]) *flink.Dataset[int64] { return in })
+		Sink(res, "drop", func(ctx *Ctx, d *flink.Dataset[int64]) {})
+		gr.Execute()
+		report = gr.Explain()
+	})
+	for _, want := range []string{
+		`plan "explained" (mode=cpu, chaining=on)`,
+		"placement:",
+		"work", "CPU", "forced", "est cpu=", "gpu=",
+		"stages:",
+		"chain:double:inc", "[fused x2]",
+		"either:compute", "[work -> CPU]",
+		"measured:",
+		"source:nums",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("Explain() missing %q in:\n%s", want, report)
+		}
+	}
+	// Explain before execution must work too (no measured section).
+	g2 := testDeployment()
+	gr2 := NewGraph(g2, "pre", Options{})
+	pre := gr2.Explain()
+	if strings.Contains(pre, "measured:") {
+		t.Errorf("unexecuted plan reports measurements:\n%s", pre)
+	}
+	if !strings.Contains(pre, `plan "pre" (mode=auto, chaining=on)`) {
+		t.Errorf("Explain() header wrong:\n%s", pre)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"gflink/internal/core"
 	"gflink/internal/costmodel"
 	"gflink/internal/flink"
+	"gflink/internal/obs"
 )
 
 // Mode selects how Either nodes are placed.
@@ -77,18 +78,38 @@ type Options struct {
 	// DisableChaining skips the chaining pass, executing every narrow
 	// node as its own eager operator (the abl-chaining baseline).
 	DisableChaining bool
+	// Tracer receives the plan's per-node spans on the "driver" track.
+	// Nil means the deployment's own tracer (GFlink.Obs).
+	Tracer *obs.Tracer
+}
+
+// stageEst is the pair of cost-model estimates behind one placement
+// decision, kept for Explain and the per-node spans.
+type stageEst struct {
+	cpu, gpu time.Duration
+	forced   bool
+}
+
+// nodeActual accumulates a stage's simulated execution time across
+// runs (iteration bodies execute their nodes once per iteration).
+type nodeActual struct {
+	total time.Duration
+	runs  int
 }
 
 // state is the planning and execution state shared by a Graph and the
 // per-iteration subgraphs Iterate builds.
 type state struct {
-	g    *core.GFlink
-	opts Options
-	job  *flink.Job
+	g      *core.GFlink
+	opts   Options
+	job    *flink.Job
+	tracer *obs.Tracer
 
 	groups     map[string]costmodel.StageCost
 	groupOrder []string
 	decisions  map[string]Device
+	ests       map[string]stageEst
+	actuals    map[string]nodeActual
 }
 
 // Graph is a deferred job: an ordered list of plan nodes built by the
@@ -105,12 +126,19 @@ type Graph struct {
 // NewGraph starts an empty plan against a deployment. Nothing touches
 // the virtual clock until Execute.
 func NewGraph(g *core.GFlink, name string, opts Options) *Graph {
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = g.Obs.Tracer()
+	}
 	return &Graph{
 		st: &state{
 			g:         g,
 			opts:      opts,
+			tracer:    tracer,
 			groups:    make(map[string]costmodel.StageCost),
 			decisions: make(map[string]Device),
+			ests:      make(map[string]stageEst),
+			actuals:   make(map[string]nodeActual),
 		},
 		name: name,
 	}
@@ -169,6 +197,12 @@ type node struct {
 	up   *node
 	run  func(ctx *Ctx, in any) any
 
+	// group is the placement group of Either nodes ("" otherwise);
+	// chainLen is the member count of fused chains (0 otherwise). Both
+	// exist for the observability layer (spans, Explain).
+	group    string
+	chainLen int
+
 	// chainable metadata (kMap, kFilter, kFlatMap)
 	perRec   costmodel.Work
 	outBytes int // -1: keep the input record size (filter)
@@ -183,6 +217,39 @@ type node struct {
 
 func (n *node) chainable() bool {
 	return n.kind == kMap || n.kind == kFilter || n.kind == kFlatMap
+}
+
+func (k nodeKind) String() string {
+	switch k {
+	case kSource:
+		return "source"
+	case kMap:
+		return "map"
+	case kFilter:
+		return "filter"
+	case kFlatMap:
+		return "flatMap"
+	case kReduceByKey:
+		return "reduceByKey"
+	case kGroupReduce:
+		return "groupReduce"
+	case kGPUMap:
+		return "gpuMap"
+	case kGPUReduce:
+		return "gpuReduce"
+	case kEither:
+		return "either"
+	case kIterate:
+		return "iterate"
+	case kSink:
+		return "sink"
+	case kDo:
+		return "do"
+	case kChain:
+		return "chain"
+	default:
+		return "unknown"
+	}
 }
 
 func (gr *Graph) add(n *node) {
@@ -215,24 +282,29 @@ func (st *state) place(group string) Device {
 	if !ok {
 		panic(fmt.Sprintf("plan: placement group %q not declared via PlaceGroup", group))
 	}
-	d := st.decide(cost)
+	d := st.decide(group, cost)
 	st.decisions[group] = d
 	return d
 }
 
 // decide is the placement rule: forced modes pin the device; Auto
 // compares the cost-model estimates and takes the cheaper path, CPU on
-// ties (the conservative choice — no PCIe dependence).
-func (st *state) decide(cost costmodel.StageCost) Device {
+// ties (the conservative choice — no PCIe dependence). The estimates
+// are recorded (for Explain and spans) even when the mode forces the
+// decision — they are pure functions of the cost model, so recording
+// them perturbs nothing.
+func (st *state) decide(group string, cost costmodel.StageCost) Device {
+	m := st.g.Cfg.Config.Model
+	cpuT := m.EstimateCPUStage(cost)
+	gpuT := m.EstimateGPUStage(st.g.Cfg.GPUProfile, cost)
+	forced := st.opts.Mode == ForceCPU || st.opts.Mode == ForceGPU
+	st.ests[group] = stageEst{cpu: cpuT, gpu: gpuT, forced: forced}
 	switch st.opts.Mode {
 	case ForceCPU:
 		return CPU
 	case ForceGPU:
 		return GPU
 	}
-	m := st.g.Cfg.Config.Model
-	cpuT := m.EstimateCPUStage(cost)
-	gpuT := m.EstimateGPUStage(st.g.Cfg.GPUProfile, cost)
 	if gpuT < cpuT {
 		return GPU
 	}
@@ -251,12 +323,49 @@ func (gr *Graph) Execute() {
 		panic("plan: graph already executed")
 	}
 	gr.executed = true
+	clock := st.g.Cluster.Clock
+	t0 := clock.Now()
 	st.job = st.g.Cluster.NewJob(gr.name)
 	ctx := &Ctx{G: st.g, Job: st.job, st: st}
 	for _, group := range st.groupOrder {
 		st.place(group)
 	}
 	gr.runNodes(ctx)
+	st.tracer.Record(driverTrack, "plan", "plan:"+gr.name, t0, clock.Now(),
+		obs.Str("mode", st.opts.Mode.String()),
+		obs.Bool("chaining", !st.opts.DisableChaining),
+		obs.Int("nodes", int64(len(gr.nodes))))
+}
+
+// driverTrack is the trace track plan-layer spans land on: the driver
+// program runs on one virtual-time process, so one track suffices.
+const driverTrack = "driver"
+
+// recordNode folds one node execution into the actuals table and emits
+// its span. Estimates are attached for Either nodes whose group has
+// been decided (est vs. actual is the cost-model calibration signal).
+func (st *state) recordNode(n *node, t0, t1 time.Duration) {
+	key := n.name
+	a := st.actuals[key]
+	a.total += t1 - t0
+	a.runs++
+	st.actuals[key] = a
+	attrs := []obs.Attr{obs.Str("kind", n.kind.String())}
+	if n.chainLen > 0 {
+		attrs = append(attrs, obs.Int("fused", int64(n.chainLen)))
+	}
+	if n.group != "" {
+		attrs = append(attrs, obs.Str("group", n.group))
+		if d, ok := st.decisions[n.group]; ok {
+			attrs = append(attrs, obs.Str("placed", d.String()))
+		}
+		if est, ok := st.ests[n.group]; ok {
+			attrs = append(attrs,
+				obs.Dur("est_cpu", est.cpu),
+				obs.Dur("est_gpu", est.gpu))
+		}
+	}
+	st.tracer.Record(driverTrack, "stage", n.name, t0, t1, attrs...)
 }
 
 // runNodes executes the (possibly fused) node list in order. Values
@@ -267,13 +376,16 @@ func (gr *Graph) runNodes(ctx *Ctx) {
 	if !gr.st.opts.DisableChaining {
 		nodes = fuseChains(nodes)
 	}
+	clock := gr.st.g.Cluster.Clock
 	vals := make(map[*node]any, len(nodes))
 	for _, n := range nodes {
 		var in any
 		if n.up != nil {
 			in = vals[n.up]
 		}
+		t0 := clock.Now()
 		out := n.run(ctx, in)
+		gr.st.recordNode(n, t0, clock.Now())
 		if n.aliasFor != nil {
 			vals[n.aliasFor] = out
 		} else {
@@ -306,7 +418,11 @@ func Iterate(gr *Graph, name string, n int, body func(it int, sub *Graph)) *Iter
 				body(it, sub)
 				sub.runNodes(ctx)
 				ctx.Job.Superstep()
-				stats.Durations = append(stats.Durations, clock.Now()-t0)
+				t1 := clock.Now()
+				stats.Durations = append(stats.Durations, t1-t0)
+				gr.st.tracer.Record(driverTrack, "iteration",
+					fmt.Sprintf("%s#%d", name, it), t0, t1,
+					obs.Int("iteration", int64(it)))
 			}
 			return nil
 		},
@@ -335,8 +451,9 @@ func Do(gr *Graph, name string, fn func(ctx *Ctx)) {
 // planner choose.
 func EitherDo(gr *Graph, name, group string, cpu, gpu func(ctx *Ctx)) {
 	gr.add(&node{
-		kind: kEither,
-		name: "either:" + name,
+		kind:  kEither,
+		name:  "either:" + name,
+		group: group,
 		run: func(ctx *Ctx, _ any) any {
 			if ctx.Placement(group) == GPU {
 				gpu(ctx)

@@ -127,9 +127,10 @@ func GroupReduce[T any, K comparable, U any](s *Stream[T], name string, perRec c
 func Either[In, Out any](s *Stream[In], name, group string,
 	cpu, gpu func(ctx *Ctx, in *flink.Dataset[In]) *flink.Dataset[Out]) *Stream[Out] {
 	return newStream[Out](s.gr, &node{
-		kind: kEither,
-		name: "either:" + name,
-		up:   s.n,
+		kind:  kEither,
+		name:  "either:" + name,
+		up:    s.n,
+		group: group,
 		run: func(ctx *Ctx, in any) any {
 			d := in.(*flink.Dataset[In])
 			if ctx.Placement(group) == GPU {

@@ -39,12 +39,17 @@ type Spec struct {
 	PageSize       int
 	// BlockNominal bounds the nominal bytes per GDST block (0 = 128 MiB).
 	BlockNominal int64
+	// OnBuild, when set, sees every deployment Build constructs before
+	// the workload runs — the hook the bench harness uses to collect
+	// tracers and metric registries without threading observability
+	// through every workload signature.
+	OnBuild func(*core.GFlink)
 }
 
 // Build constructs the GFlink deployment (which embeds the baseline
 // cluster used by the CPU drivers).
 func (s Spec) Build() *core.GFlink {
-	return core.New(core.Config{
+	g := core.New(core.Config{
 		Config: flink.Config{
 			Workers:        s.Workers,
 			SlotsPerWorker: s.SlotsPerWorker,
@@ -62,6 +67,10 @@ func (s Spec) Build() *core.GFlink {
 		DisableStealing:  s.NoStealing,
 		MaxBlockNominal:  s.BlockNominal,
 	})
+	if s.OnBuild != nil {
+		s.OnBuild(g)
+	}
+	return g
 }
 
 // Result is a workload run's measurements.
