@@ -53,6 +53,30 @@ func TestSuiteCoversObsLayer(t *testing.T) {
 	}
 }
 
+// TestSuiteCoversTransferChannel pins the scoping rules to every
+// package the transfer-channel optimization touches: column projection
+// (gstruct column sets, the gpu field-use registry and range copies,
+// the cost model's projected-H2D estimate) and chunked double-buffered
+// pipelining (core's chunked exec path, the workloads/bench drivers).
+// All of them sit on the determinism and buffer-lifecycle invariants,
+// so every analyzer must apply.
+func TestSuiteCoversTransferChannel(t *testing.T) {
+	for _, pkg := range []string{
+		"gflink/internal/gstruct",
+		"gflink/internal/gpu",
+		"gflink/internal/core",
+		"gflink/internal/costmodel",
+		"gflink/internal/workloads",
+		"gflink/internal/bench",
+	} {
+		for _, r := range suite.Rules() {
+			if r.Applies != nil && !r.Applies(pkg) {
+				t.Errorf("analyzer %q does not apply to %s", r.Analyzer.Name, pkg)
+			}
+		}
+	}
+}
+
 // TestRepositoryIsClean runs the full gflink-vet suite over the module
 // (test files included), so `go test ./...` fails the moment a
 // determinism, lock-discipline or buffer-lifecycle violation lands.

@@ -47,7 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig7d",
 		"fig8a", "fig8b", "fig8c", "fig8d", "table2",
 		"abl-layout", "abl-zerocopy", "abl-pipeline", "abl-locality", "abl-stealing", "abl-blocksize",
-		"abl-chaining",
+		"abl-chaining", "abl-projection", "abl-chunking",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -211,6 +211,19 @@ func TestAblChainingStrictWin(t *testing.T) {
 	e, _ := ByID("abl-chaining")
 	if err := e.Check(tbl); err != nil {
 		t.Errorf("abl-chaining check rejected its own table: %v", err)
+	}
+}
+
+func TestTransferAblationChecks(t *testing.T) {
+	for _, id := range []string{"abl-projection", "abl-chunking"} {
+		tbl := runExp(t, id)
+		e, _ := ByID(id)
+		if err := e.Check(tbl); err != nil {
+			t.Errorf("%s check rejected its own table: %v", id, err)
+		}
+		if err := e.Check(&Table{}); err == nil {
+			t.Errorf("%s check accepted an empty table", id)
+		}
 	}
 }
 

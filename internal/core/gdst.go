@@ -5,6 +5,7 @@ import (
 
 	"gflink/internal/costmodel"
 	"gflink/internal/flink"
+	"gflink/internal/gpu"
 	"gflink/internal/gstruct"
 	"gflink/internal/membuf"
 	"gflink/internal/vclock"
@@ -152,6 +153,10 @@ type GPUMapSpec struct {
 	// BlockSize is the CUDA block size (default 256, as in
 	// Algorithm 3.1).
 	BlockSize int
+	// KernelPerRec is the kernel's per-record roofline demand, used by
+	// the chunked-pipelining policy to weigh kernel time against
+	// transfer time (zero disables cost-model chunking for these works).
+	KernelPerRec costmodel.Work
 	// ProducerWork is the per-record CPU cost of assembling the work
 	// (normally negligible: no serialization happens on this path).
 	ProducerWork costmodel.Work
@@ -230,12 +235,15 @@ func GPUMapPartition(g *GFlink, ds GDST, spec GPUMapSpec) GDST {
 				Coalesce:    coalesce,
 				JobID:       jobID,
 			}
-			w.In = append(w.In, Input{
+			if spec.KernelPerRec != (costmodel.Work{}) {
+				w.KernelWork = spec.KernelPerRec.Scale(float64(b.Nominal))
+			}
+			w.In = append(w.In, projectInput(g, spec.Kernel, b, Input{
 				Buf:     b.Buf,
 				Nominal: b.NominalBytes(),
 				Cache:   spec.CacheInput,
 				Key:     b.Key(jobID),
-			})
+			}, spec.Args))
 			if spec.Extra != nil {
 				w.In = append(w.In, spec.Extra(b)...)
 			}
@@ -252,6 +260,32 @@ func GPUMapPartition(g *GFlink, ds GDST, spec GPUMapSpec) GDST {
 		}
 		return outs, outNominalTotal
 	})
+}
+
+// projectInput applies SoA column projection to a block-backed GWork
+// input: when the deployment enables projection, the block is SoA, and
+// the kernel's registered field-use declaration reads a strict subset
+// of the schema, the input ships (and caches) only the referenced byte
+// ranges at their original offsets — nominal volume, cache key and real
+// copy all shrink together. Otherwise the input is returned unchanged,
+// keeping the default path byte-identical.
+func projectInput(g *GFlink, kernel string, b *Block, in Input, args []int64) Input {
+	if !g.Cfg.EnableProjection || b.Layout != gstruct.SoA || b.Schema.NumFields() > gstruct.MaxCols {
+		return in
+	}
+	reads, ok := gpu.KernelReads(kernel, b.Schema, args)
+	if !ok || b.Schema.Covers(reads) {
+		return in
+	}
+	ranges := b.Schema.SoAColumnRanges(reads, b.N)
+	cr := make([]gpu.CopyRange, len(ranges))
+	for i, r := range ranges {
+		cr[i] = gpu.CopyRange{Off: r.Off, Len: r.Len}
+	}
+	in.Nominal = b.Nominal * int64(b.Schema.ProjectedElemBytes(reads))
+	in.Ranges = cr
+	in.Key.Cols = reads
+	return in
 }
 
 func maxI64(a, b int64) int64 {

@@ -37,6 +37,14 @@ type Config struct {
 	// represents (the effective memory-page granularity of the
 	// three-stage pipeline). 0 means 128 MiB.
 	MaxBlockNominal int64
+	// EnableProjection turns on SoA column projection: GWork inputs
+	// built from GDST blocks ship only the columns the kernel's
+	// registered field-use declaration reads. Off by default (the
+	// paper-mode figures ship whole blocks).
+	EnableProjection bool
+	// EnableChunking turns on chunked double-buffered GWork pipelining
+	// in every worker's stream manager. Off by default.
+	EnableChunking bool
 }
 
 // GFlink is a cluster with one GPUManager per worker — the system of
@@ -96,6 +104,7 @@ func New(cfg Config) *GFlink {
 			NoStealing:    cfg.DisableStealing,
 			Tracer:        g.Obs.Tracer(),
 			Metrics:       g.Obs.Metrics(),
+			Chunking:      cfg.EnableChunking,
 		})
 		g.Managers = append(g.Managers, mgr)
 	}
@@ -133,6 +142,7 @@ func NewHetero(cfg Config, profiles [][]costmodel.GPUProfile) *GFlink {
 			NoStealing:    cfg.DisableStealing,
 			Tracer:        g.Obs.Tracer(),
 			Metrics:       g.Obs.Metrics(),
+			Chunking:      cfg.EnableChunking,
 		})
 		g.Managers = append(g.Managers, mgr)
 	}

@@ -23,7 +23,9 @@ package core
 import (
 	"time"
 
+	"gflink/internal/costmodel"
 	"gflink/internal/gpu"
+	"gflink/internal/gstruct"
 	"gflink/internal/membuf"
 	"gflink/internal/obs"
 	"gflink/internal/vclock"
@@ -31,11 +33,15 @@ import (
 
 // CacheKey identifies a cached block in a device's cache region. "By
 // default, the key of a block is the partition ID and the block ID"
-// (Section 4.2.2); JobID scopes regions per job.
+// (Section 4.2.2); JobID scopes regions per job. Cols qualifies the
+// entry with the column projection it holds: the zero value means "all
+// columns" (the pre-projection behaviour), so a projected entry never
+// aliases a full one and the cache can serve both side by side.
 type CacheKey struct {
 	JobID     int
 	Partition int
 	Block     int
+	Cols      gstruct.ColSet
 }
 
 // Input is one input HBuffer of a GWork, with its nominal transfer size
@@ -45,6 +51,12 @@ type Input struct {
 	Nominal int64
 	Cache   bool
 	Key     CacheKey
+	// Ranges, when non-nil, restricts the real H2D copy to these byte
+	// ranges of Buf (at their original offsets, so device-side column
+	// addressing is unchanged) — the column-projection transfer. Nominal
+	// must then already be the projected volume. nil ships the whole
+	// buffer.
+	Ranges []gpu.CopyRange
 }
 
 // GWork is the abstraction model for GPU computing (Section 3.5.3):
@@ -74,6 +86,16 @@ type GWork struct {
 	Coalesce float64
 	// JobID scopes the cache region.
 	JobID int
+	// Chunks controls double-buffered chunked pipelining when the
+	// stream manager has chunking enabled: 0 lets the cost model pick
+	// the chunk count from KernelWork (monolithic when KernelWork is
+	// zero), 1 forces a monolithic pipeline, >1 forces that count. With
+	// chunking disabled the field is ignored.
+	Chunks int
+	// KernelWork is the kernel's total roofline demand for this work,
+	// used by the chunk policy to weigh kernel time against transfer
+	// time.
+	KernelWork costmodel.Work
 
 	done   *vclock.Event
 	err    error

@@ -31,6 +31,7 @@ type GStreamManager struct {
 	wrapper  *CUDAWrapper
 	policy   SchedulerPolicy
 	stealing bool
+	chunking bool
 	tracer   *obs.Tracer
 	metrics  *obs.Registry
 	node     int // worker index, used in metric names
@@ -67,8 +68,13 @@ type streamWorker struct {
 	mgr    *GStreamManager
 	ds     *deviceState
 	stream *gpu.Stream
-	inbox  *vclock.Queue[*GWork]
-	track  string // trace track of this stream's pipeline spans
+	// alt is the second CUDA stream of the double-buffered chunked
+	// pipeline; nil unless chunking is enabled (it would add a
+	// virtual-clock process and perturb the deterministic schedule of
+	// the pinned paper figures).
+	alt   *gpu.Stream
+	inbox *vclock.Queue[*GWork]
+	track string // trace track of this stream's pipeline spans
 }
 
 // StreamConfig configures a GStreamManager. Clock, Wrapper and
@@ -91,6 +97,11 @@ type StreamConfig struct {
 	// Metrics, when set, receives the scheduler counters and every
 	// device's cache counters.
 	Metrics *obs.Registry
+	// Chunking enables chunked double-buffered GWork pipelining: the
+	// three stages split into cost-model-chosen chunks and H2D of chunk
+	// i+1 overlaps the kernel of chunk i on a second stream per worker.
+	// Off by default; the monolithic pipeline stays byte-identical.
+	Chunking bool
 }
 
 // StreamOption mutates a StreamConfig before construction.
@@ -121,6 +132,11 @@ func WithStreamsPerGPU(n int) StreamOption {
 	return func(c *StreamConfig) { c.StreamsPerGPU = n }
 }
 
+// WithChunking enables chunked double-buffered pipelining.
+func WithChunking(enabled bool) StreamOption {
+	return func(c *StreamConfig) { c.Chunking = enabled }
+}
+
 // NewStreamManager builds the manager from cfg with opts applied.
 // StreamsPerGPU streams are created per device; all start idle.
 func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
@@ -133,7 +149,8 @@ func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
 	m := &GStreamManager{
 		clock: cfg.Clock, wrapper: cfg.Wrapper,
 		policy: cfg.Policy, stealing: !cfg.NoStealing,
-		tracer: cfg.Tracer, metrics: cfg.Metrics,
+		chunking: cfg.Chunking,
+		tracer:   cfg.Tracer, metrics: cfg.Metrics,
 	}
 	if len(cfg.Memories) > 0 {
 		m.node = cfg.Memories[0].Device().Node
@@ -159,6 +176,13 @@ func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
 				stream: mem.Device().NewStream(cfg.Wrapper.model.CPU),
 				inbox:  vclock.NewQueue[*GWork](cfg.Clock),
 				track:  fmt.Sprintf("w%d/gpu%d/s%d", mem.Device().Node, i, s),
+			}
+			if cfg.Chunking {
+				// The double-buffer lane. Created only when chunking is
+				// on: a stream is a virtual-clock process, and spawning
+				// it unconditionally would perturb the deterministic
+				// schedule of every pinned figure.
+				sw.alt = mem.Device().NewStream(cfg.Wrapper.model.CPU)
 			}
 			ds.streams = append(ds.streams, sw)
 			ds.idle = append(ds.idle, sw)
@@ -379,8 +403,14 @@ func (sw *streamWorker) run() {
 	}
 }
 
-// exec runs one GWork through the three-stage pipeline on this stream.
+// exec runs one GWork through the three-stage pipeline on this stream,
+// or through the chunked double-buffered pipeline when chunking is
+// enabled and the cost model favours splitting.
 func (sw *streamWorker) exec(w *GWork) {
+	if c := sw.chunkCount(w); c > 1 {
+		sw.execChunked(w, c)
+		return
+	}
 	mgr := sw.mgr
 	dev := sw.ds.dev
 	mem := sw.ds.mem
@@ -463,7 +493,14 @@ func (sw *streamWorker) exec(w *GWork) {
 			toFree = append(toFree, buf)
 		}
 		wr.HostRegister(in.Buf)
-		wr.MemcpyH2DAsync(sw.stream, buf, in.Buf, in.Nominal)
+		if in.Ranges != nil {
+			// Column projection: ship only the referenced byte ranges,
+			// charged at the (projected) nominal volume.
+			wr.MemcpyH2DRangesAsync(sw.stream, buf, in.Buf, in.Ranges, in.Nominal)
+		} else {
+			wr.MemcpyH2DAsync(sw.stream, buf, in.Buf, in.Nominal)
+		}
+		mgr.metrics.Add(fmt.Sprintf("xfer.h2d.bytes.gpu%d", dev.ID), in.Nominal)
 	}
 
 	outBuf, err := malloc(w.OutNominal, len(w.Out.Bytes()))
@@ -494,6 +531,7 @@ func (sw *streamWorker) exec(w *GWork) {
 
 	// Stage 3: device-to-host output transfer.
 	wr.MemcpyD2HAsync(sw.stream, w.Out, outBuf, w.OutNominal)
+	mgr.metrics.Add(fmt.Sprintf("xfer.d2h.bytes.gpu%d", dev.ID), w.OutNominal)
 	wr.StreamSynchronize(sw.stream)
 	kernelDur, kerr := fut.Wait()
 

@@ -83,6 +83,29 @@ func (w *CUDAWrapper) MemcpyD2HAsync(s *gpu.Stream, dst *membuf.HBuffer, src *gp
 	s.D2HAsync(dst, src, nominal)
 }
 
+// MemcpyH2DRangesAsync enqueues an asynchronous projected host-to-device
+// copy: only the given real byte ranges move, charged at nominal bytes
+// (the column-projection transfer). One JNI redirect per call, like any
+// other transfer-channel entry point.
+func (w *CUDAWrapper) MemcpyH2DRangesAsync(s *gpu.Stream, dst *gpu.Buffer, src *membuf.HBuffer, ranges []gpu.CopyRange, nominal int64) {
+	w.redirect()
+	s.H2DRangesAsync(dst, src, ranges, nominal)
+}
+
+// MemcpyD2HRangesAsync is the device-to-host counterpart.
+func (w *CUDAWrapper) MemcpyD2HRangesAsync(s *gpu.Stream, dst *membuf.HBuffer, src *gpu.Buffer, ranges []gpu.CopyRange, nominal int64) {
+	w.redirect()
+	s.D2HRangesAsync(dst, src, ranges, nominal)
+}
+
+// LaunchChunkAsync enqueues one chunk of a chunked kernel launch
+// (see gpu.Stream.LaunchChunkAsync). One JNI control call per chunk —
+// each chunk is a real launch.
+func (w *CUDAWrapper) LaunchChunkAsync(s *gpu.Stream, name string, ctx *gpu.KernelCtx, k, chunks int, after *vclock.Event) *gpu.Future {
+	w.jni()
+	return s.LaunchChunkAsync(name, ctx, k, chunks, after)
+}
+
 // LaunchAsync enqueues a kernel launch on a stream.
 func (w *CUDAWrapper) LaunchAsync(s *gpu.Stream, name string, ctx *gpu.KernelCtx) *gpu.Future {
 	w.jni()

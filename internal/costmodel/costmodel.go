@@ -319,6 +319,12 @@ type StageCost struct {
 	Executions int64
 	// CacheResident marks HostToDevice as cacheable on the device.
 	CacheResident bool
+	// ProjectedH2D, when > 0, is the per-execution input byte volume
+	// after column projection (the kernel's declared read set over the
+	// SoA schema); estimators charge it in place of HostToDevice, so a
+	// projectable stage competes for Auto placement with the bytes it
+	// would actually ship. 0 means no projection.
+	ProjectedH2D int64
 	// CPUParallelism and GPUParallelism are the lane counts each path
 	// spreads over — task slots and devices respectively (0 means 1).
 	CPUParallelism, GPUParallelism int
@@ -372,15 +378,64 @@ func (m Model) EstimateGPUStage(p GPUProfile, s StageCost) time.Duration {
 	if perLane := (s.Launches + lanes - 1) / lanes; perLane > 1 {
 		kern += time.Duration(perLane-1) * p.LaunchOverhead
 	}
+	h2d := s.HostToDevice
+	if s.ProjectedH2D > 0 && s.ProjectedH2D < h2d {
+		h2d = s.ProjectedH2D
+	}
 	perExec := xfer(s.H2DStreamed) + kern + xfer(s.DeviceToHost)
-	total := xfer(s.HostToDevice) + perExec
-	steadyH2D := xfer(s.HostToDevice)
+	total := xfer(h2d) + perExec
+	steadyH2D := xfer(h2d)
 	if s.CacheResident {
 		steadyH2D = 0
 	}
 	total += time.Duration(s.Executions-1) * steadyH2D
 	total += time.Duration(s.Executions-1) * perExec
 	return total
+}
+
+// chunkCandidates are the chunk counts the double-buffering policy
+// considers. Powers of two keep nominal shares exact and bound the
+// per-work launch overhead.
+var chunkCandidates = []int{1, 2, 4, 8, 16, 32}
+
+// ChunkCount picks the chunk count for a double-buffered GWork: split
+// the H2D / kernel / D2H stages into C equal chunks and overlap chunk
+// i+1's H2D with chunk i's kernel. Each chunk pays its own DMA setup
+// and launch overhead, so the policy trades pipelining gain against
+// fixed costs: estimated makespan is one pipeline fill (h2d + kern +
+// d2h of a single chunk) plus C-1 steady-state beats, where a beat is
+// the slowest stage — with one copy engine H2D and D2H serialize on the
+// same DMA unit and the beat is max(h2d+d2h, kern). Ties go to the
+// smaller count. work is the kernel's total roofline demand; h2dBytes
+// the (already projected) input volume; d2hBytes the result volume.
+func (m Model) ChunkCount(p GPUProfile, work Work, coalesce float64, h2dBytes, d2hBytes int64) int {
+	best, bestT := 1, time.Duration(0)
+	for _, c := range chunkCandidates {
+		h2d := m.PCIe.GFlinkTransferTime(h2dBytes / int64(c))
+		d2h := m.PCIe.GFlinkTransferTime(d2hBytes / int64(c))
+		kern := p.KernelTime(work.Scale(1/float64(c)), coalesce)
+		var beat time.Duration
+		if p.CopyEngines >= 2 {
+			beat = maxDur(h2d, kern, d2h)
+		} else {
+			beat = maxDur(h2d+d2h, kern)
+		}
+		t := h2d + kern + d2h + time.Duration(c-1)*beat
+		if c == 1 || t < bestT {
+			best, bestT = c, t
+		}
+	}
+	return best
+}
+
+func maxDur(ds ...time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 // CoalesceFactor maps a data layout to the fraction of peak device

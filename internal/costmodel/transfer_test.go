@@ -1,0 +1,82 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProjectedH2DFlipsPlacement builds a transfer-bound stage whose
+// GPU estimate loses to the CPU at full H2D volume but wins once the
+// kernel's declared read set shrinks the shipped bytes — the Auto-flip
+// the plan layer relies on.
+func TestProjectedH2DFlipsPlacement(t *testing.T) {
+	m := Default()
+	s := StageCost{
+		Records:      1_000_000,
+		CPUPerRec:    Work{Flops: 40, BytesRead: 40},
+		GPUWork:      Work{Flops: 4e8, BytesRead: 4e8},
+		HostToDevice: 1 << 30,
+		DeviceToHost: 1 << 10,
+	}
+	cpu := m.EstimateCPUStage(s)
+	full := m.EstimateGPUStage(C2050, s)
+	if full <= cpu {
+		t.Fatalf("fixture broken: full-volume GPU estimate %v should lose to CPU %v", full, cpu)
+	}
+	s.ProjectedH2D = 1 << 26 // 64 MiB of 1 GiB actually read
+	proj := m.EstimateGPUStage(C2050, s)
+	if proj >= full {
+		t.Fatalf("projected estimate %v did not drop below full %v", proj, full)
+	}
+	if proj >= cpu {
+		t.Fatalf("projected GPU estimate %v should now beat CPU %v", proj, cpu)
+	}
+}
+
+// TestProjectedH2DNeverInflates pins that a projected volume larger
+// than the full volume (a kernel reading beyond the block — impossible,
+// but defensive) is ignored.
+func TestProjectedH2DNeverInflates(t *testing.T) {
+	m := Default()
+	s := StageCost{GPUWork: Work{Flops: 1e6}, HostToDevice: 1 << 20}
+	base := m.EstimateGPUStage(C2050, s)
+	s.ProjectedH2D = 1 << 24
+	if got := m.EstimateGPUStage(C2050, s); got != base {
+		t.Fatalf("oversized ProjectedH2D changed estimate: %v != %v", got, base)
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	m := Default()
+	// Transfer-dominated with a comparable kernel: chunking hides the
+	// kernel behind transfers (or vice versa), so the policy should pick
+	// more than one chunk.
+	big := Work{Flops: 1e11} // ~388 ms on C2050 roofline
+	c := m.ChunkCount(C2050, big, 1, 1<<30, 1<<20)
+	if c < 2 {
+		t.Fatalf("balanced kernel/transfer work got %d chunks, want >= 2", c)
+	}
+	// Tiny work: fixed per-chunk costs dominate, policy must stay
+	// monolithic.
+	tiny := Work{Flops: 1e3}
+	if got := m.ChunkCount(C2050, tiny, 1, 1<<10, 1<<8); got != 1 {
+		t.Fatalf("tiny work got %d chunks, want 1", got)
+	}
+	// The chosen count must actually minimize the policy's own estimate
+	// among the candidates (ties to the smaller count).
+	est := func(cc int) time.Duration {
+		h2d := m.PCIe.GFlinkTransferTime(int64(1<<30) / int64(cc))
+		d2h := m.PCIe.GFlinkTransferTime(int64(1<<20) / int64(cc))
+		kern := C2050.KernelTime(big.Scale(1/float64(cc)), 1)
+		beat := h2d + d2h
+		if kern > beat {
+			beat = kern
+		}
+		return h2d + kern + d2h + time.Duration(cc-1)*beat
+	}
+	for _, cc := range []int{1, 2, 4, 8, 16, 32} {
+		if est(cc) < est(c) {
+			t.Fatalf("candidate %d (%v) beats chosen %d (%v)", cc, est(cc), c, est(c))
+		}
+	}
+}

@@ -79,6 +79,76 @@ func (s *Stream) H2DAsync(dst *Buffer, src *membuf.HBuffer, nominal int64) {
 	})
 }
 
+// CopyRange is one byte range of a host/device buffer pair, used by the
+// projected and chunked transfer paths. Off/Len address the *real*
+// backing bytes; the virtual-time charge comes from the separate
+// nominal argument.
+type CopyRange struct {
+	Off, Len int
+}
+
+// clampCopy copies src[off:off+len] into dst[off:off+len], clamping the
+// range to both slices (real backings are scale-divided, so a nominal
+// range may exceed them).
+func clampCopy(dst, src []byte, r CopyRange) {
+	if r.Off >= len(src) || r.Off >= len(dst) || r.Len <= 0 {
+		return
+	}
+	end := r.Off + r.Len
+	if end > len(src) {
+		end = len(src)
+	}
+	if end > len(dst) {
+		end = len(dst)
+	}
+	copy(dst[r.Off:end], src[r.Off:end])
+}
+
+// H2DRangesAsync enqueues one asynchronous host-to-device copy that
+// moves only the given real byte ranges (at their original offsets, so
+// device-side column addressing is unchanged) while charging nominal
+// bytes of PCIe time — the projected-column transfer of the paper's
+// transfer channel. A nil ranges slice copies everything, which makes a
+// zero-range call a pure timing charge (used by chunk shadows).
+func (s *Stream) H2DRangesAsync(dst *Buffer, src *membuf.HBuffer, ranges []CopyRange, nominal int64) {
+	if !src.Pinned() {
+		panic("gpu: H2DRangesAsync requires a page-locked host buffer")
+	}
+	s.q.Put(func() {
+		s.dev.h2d.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
+		s.dev.h2d.Release(1)
+		if ranges == nil {
+			copy(dst.data, src.Bytes())
+		} else {
+			for _, r := range ranges {
+				clampCopy(dst.data, src.Bytes(), r)
+			}
+		}
+		s.dev.count(&s.dev.h2dCopies, &s.dev.h2dBytes, nominal)
+	})
+}
+
+// D2HRangesAsync is the device-to-host counterpart of H2DRangesAsync.
+func (s *Stream) D2HRangesAsync(dst *membuf.HBuffer, src *Buffer, ranges []CopyRange, nominal int64) {
+	if !dst.Pinned() {
+		panic("gpu: D2HRangesAsync requires a page-locked host buffer")
+	}
+	s.q.Put(func() {
+		s.dev.d2h.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
+		s.dev.d2h.Release(1)
+		if ranges == nil {
+			copy(dst.Bytes(), src.data)
+		} else {
+			for _, r := range ranges {
+				clampCopy(dst.Bytes(), src.data, r)
+			}
+		}
+		s.dev.count(&s.dev.d2hCopies, &s.dev.d2hBytes, nominal)
+	})
+}
+
 // D2HAsync enqueues an asynchronous device-to-host copy into a
 // page-locked buffer.
 func (s *Stream) D2HAsync(dst *membuf.HBuffer, src *Buffer, nominal int64) {
@@ -104,6 +174,31 @@ func (s *Stream) LaunchAsync(name string, ctx *KernelCtx) *Future {
 	})
 	return f
 }
+
+// LaunchChunkAsync enqueues chunk k of a chunks-way split kernel
+// launch. The chunk first waits for the after event (the previous
+// chunk's future, giving cross-stream chunk ordering), then occupies
+// the compute engine for its share of the roofline time. Only chunk 0
+// executes the kernel function for real — over the full buffers, so
+// results are bit-identical to a monolithic launch; later chunks are
+// timing shadows that re-charge the recorded demand divided by chunks.
+// Every chunk pays its own launch overhead, which is exactly the
+// overhead the chunk policy trades against transfer/kernel overlap.
+func (s *Stream) LaunchChunkAsync(name string, ctx *KernelCtx, k, chunks int, after *vclock.Event) *Future {
+	f := &Future{ev: vclock.NewEvent(s.dev.clock)}
+	s.q.Put(func() {
+		if after != nil {
+			after.Wait()
+		}
+		f.dur, f.err = s.dev.launchChunk(name, ctx, k, chunks)
+		f.ev.Set()
+	})
+	return f
+}
+
+// Done returns the future's completion event, usable as the after
+// dependency of a later chunk.
+func (f *Future) Done() *vclock.Event { return f.ev }
 
 // Callback enqueues fn to run in stream order (cudaStreamAddCallback).
 func (s *Stream) Callback(fn func()) {

@@ -249,6 +249,148 @@ func (s *Schema) soaOffset(n, field, elem, idx int) int {
 	return off + (elem*f.len()+idx)*f.Kind.Size()
 }
 
+// MaxCols is the maximum number of fields a ColSet can address.
+const MaxCols = 64
+
+// ColSet is a bitmask of field indices over a schema with at most
+// MaxCols fields. The zero value means "all columns" wherever a ColSet
+// qualifies a transfer or cache entry, so existing call sites that
+// never heard of projection keep their semantics.
+type ColSet uint64
+
+// Cols builds a ColSet from field indices.
+func Cols(idx ...int) ColSet {
+	var c ColSet
+	for _, i := range idx {
+		if i < 0 || i >= MaxCols {
+			panic(fmt.Sprintf("gstruct: column index %d out of range [0,%d)", i, MaxCols))
+		}
+		c |= 1 << uint(i)
+	}
+	return c
+}
+
+// ColRange selects fields [lo, hi) — the common "prefix of the schema"
+// read sets kernels declare.
+func ColRange(lo, hi int) ColSet {
+	var c ColSet
+	for i := lo; i < hi; i++ {
+		c |= 1 << uint(i)
+	}
+	return c
+}
+
+// Has reports whether field i is in the set.
+func (c ColSet) Has(i int) bool { return i >= 0 && i < MaxCols && c&(1<<uint(i)) != 0 }
+
+// Count returns the number of selected fields.
+func (c ColSet) Count() int {
+	n := 0
+	for x := uint64(c); x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Empty reports whether no field is selected.
+func (c ColSet) Empty() bool { return c == 0 }
+
+// String renders the set as a sorted index list, e.g. "{0,1,5}".
+func (c ColSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := 0; i < MaxCols; i++ {
+		if c.Has(i) {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", i)
+			first = false
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// AllCols returns the set selecting every field of s.
+func (s *Schema) AllCols() ColSet {
+	return ColRange(0, len(s.fields))
+}
+
+// Covers reports whether c selects every field of s (the degenerate
+// projection that ships the whole buffer). The zero ColSet also covers,
+// by the "zero means all" convention.
+func (s *Schema) Covers(c ColSet) bool {
+	return c == 0 || c&s.AllCols() == s.AllCols()
+}
+
+// ElemBytes returns the per-element byte footprint under SoA (the sum
+// of all column widths; SoA has no padding, so Size(SoA,n) ==
+// ElemBytes()*n).
+func (s *Schema) ElemBytes() int {
+	total := 0
+	for _, f := range s.fields {
+		total += f.Kind.Size() * f.len()
+	}
+	return total
+}
+
+// ProjectedElemBytes returns the per-element byte footprint of the
+// selected columns under SoA. A zero set means all columns.
+func (s *Schema) ProjectedElemBytes(c ColSet) int {
+	if c == 0 {
+		return s.ElemBytes()
+	}
+	total := 0
+	for i, f := range s.fields {
+		if c.Has(i) {
+			total += f.Kind.Size() * f.len()
+		}
+	}
+	return total
+}
+
+// SoARange is one contiguous byte range of an SoA buffer covering a run
+// of adjacent selected columns. Off and Len are byte positions in a
+// buffer holding the n elements passed to SoAColumnRanges; PerElem is
+// the per-element width of the run, so the same run in a buffer of m
+// elements spans PerElem*m bytes.
+type SoARange struct {
+	Off     int
+	Len     int
+	PerElem int
+}
+
+// SoAColumnRanges returns the contiguous byte ranges of an n-element
+// SoA buffer that hold the selected columns, merging adjacent selected
+// fields into single ranges (SoA stores columns consecutively in
+// declaration order with no padding). A zero set means all columns and
+// yields one range covering the whole buffer. Selecting a prefix of the
+// schema therefore yields exactly one range starting at offset 0 — the
+// zero-copy case.
+func (s *Schema) SoAColumnRanges(c ColSet, n int) []SoARange {
+	if c == 0 {
+		c = s.AllCols()
+	}
+	var out []SoARange
+	off := 0
+	for i, f := range s.fields {
+		w := f.Kind.Size() * f.len()
+		if c.Has(i) {
+			if len(out) > 0 && out[len(out)-1].Off+out[len(out)-1].Len == off {
+				r := &out[len(out)-1]
+				r.Len += w * n
+				r.PerElem += w
+			} else {
+				out = append(out, SoARange{Off: off, Len: w * n, PerElem: w})
+			}
+		}
+		off += w * n
+	}
+	return out
+}
+
 // CLayout renders the schema as the CUDA-C struct definition a kernel
 // author would declare, documenting the byte-exact contract between the
 // off-heap buffer and device code.

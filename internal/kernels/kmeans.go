@@ -45,6 +45,25 @@ func KMeansWork(k, d int) costmodel.Work {
 }
 
 func init() {
+	// kmeansAssign reads only the first d coordinate columns of the
+	// point block (Args[1]); any trailing metadata columns a wider
+	// schema carries are never touched, so the transfer channel may
+	// project them away.
+	gpu.RegisterFieldUse(KMeansAssignKernel, gpu.FieldUse{
+		Reads: func(s *gstruct.Schema, args []int64) (gstruct.ColSet, bool) {
+			if len(args) < 2 {
+				return 0, false
+			}
+			d := int(args[1])
+			if d <= 0 || d > s.NumFields() || d > gstruct.MaxCols {
+				return 0, false
+			}
+			return gstruct.ColRange(0, d), true
+		},
+		Writes: func(s *gstruct.Schema, args []int64) (gstruct.ColSet, bool) {
+			return 0, true // partials go to Out, the block is read-only
+		},
+	})
 	gpu.Register(KMeansAssignKernel, func(ctx *gpu.KernelCtx) error {
 		if len(ctx.In) < 2 || len(ctx.Out) < 1 || len(ctx.Args) < 2 {
 			return fmt.Errorf("kmeansAssign: want 2 inputs, 1 output, 2 args")

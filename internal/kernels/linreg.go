@@ -26,12 +26,26 @@ const LinRegGradKernel = "gflink.linregGrad"
 // scalar fields so the SoA layout yields one contiguous column per
 // feature, with the label as the last column (offset d*n).
 func SampleSchema(d int) *gstruct.Schema {
-	fields := make([]gstruct.Field, d+1)
+	return SampleSchemaMeta(d, 0)
+}
+
+// SampleSchemaMeta widens SampleSchema with meta unread float32
+// metadata columns after the label — columns the gradient kernel never
+// touches, which column projection can keep off the transfer channel.
+func SampleSchemaMeta(d, meta int) *gstruct.Schema {
+	fields := make([]gstruct.Field, d+1+meta)
 	for j := 0; j < d; j++ {
 		fields[j] = gstruct.Field{Name: fmt.Sprintf("f%d", j), Kind: gstruct.Float32}
 	}
 	fields[d] = gstruct.Field{Name: "label", Kind: gstruct.Float32}
-	return gstruct.MustNew(fmt.Sprintf("Sample%d", d), 4, fields...)
+	for m := 0; m < meta; m++ {
+		fields[d+1+m] = gstruct.Field{Name: fmt.Sprintf("m%d", m), Kind: gstruct.Float32}
+	}
+	name := fmt.Sprintf("Sample%d", d)
+	if meta > 0 {
+		name = fmt.Sprintf("Sample%dm%d", d, meta)
+	}
+	return gstruct.MustNew(name, 4, fields...)
 }
 
 // LinRegWork returns the per-sample demand of one gradient step.
@@ -43,6 +57,24 @@ func LinRegWork(d int) costmodel.Work {
 }
 
 func init() {
+	// linregGrad reads the d feature columns plus the label column — the
+	// first d+1 fields (Args[0] = d); trailing metadata columns of a
+	// wider sample schema are projectable.
+	gpu.RegisterFieldUse(LinRegGradKernel, gpu.FieldUse{
+		Reads: func(s *gstruct.Schema, args []int64) (gstruct.ColSet, bool) {
+			if len(args) < 1 {
+				return 0, false
+			}
+			d := int(args[0])
+			if d < 0 || d+1 > s.NumFields() || d+1 > gstruct.MaxCols {
+				return 0, false
+			}
+			return gstruct.ColRange(0, d+1), true
+		},
+		Writes: func(s *gstruct.Schema, args []int64) (gstruct.ColSet, bool) {
+			return 0, true // gradients go to Out, the block is read-only
+		},
+	})
 	gpu.Register(LinRegGradKernel, func(ctx *gpu.KernelCtx) error {
 		if len(ctx.In) < 2 || len(ctx.Out) < 1 || len(ctx.Args) < 1 {
 			return fmt.Errorf("linregGrad: want 2 inputs, 1 output, 1 arg")

@@ -71,6 +71,22 @@ func (gr *Graph) Explain() string {
 			b.WriteByte('\n')
 		}
 	}
+
+	// Transfer-channel volume: the per-device xfer.{h2d,d2h}.bytes.gpuN
+	// counters the stream workers increment on every DMA. Snapshot order
+	// is sorted, so this section is deterministic.
+	var xfers []string
+	for _, m := range st.g.Obs.Metrics().Snapshot() {
+		if strings.HasPrefix(m.Name, "xfer.") {
+			xfers = append(xfers, fmt.Sprintf("  %-24s %d\n", m.Name, m.Value))
+		}
+	}
+	if len(xfers) > 0 {
+		b.WriteString("transfers:\n")
+		for _, line := range xfers {
+			b.WriteString(line)
+		}
+	}
 	return b.String()
 }
 

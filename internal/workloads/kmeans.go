@@ -33,6 +33,11 @@ type KMeansParams struct {
 	// writes the centroids in the last, as Fig 7a's setup does.
 	FromHDFS    bool
 	WriteResult bool
+	// MetaCols widens each point with unread trailing float32 metadata
+	// columns (record ids, tags). The assign kernel only reads the first
+	// D coordinate columns, so with column projection enabled these
+	// columns never cross PCIe — the abl-projection setup.
+	MetaCols int
 	// Seed keys the generators.
 	Seed uint64
 }
@@ -49,8 +54,8 @@ func (p *KMeansParams) defaults() {
 	}
 }
 
-// pointBytes is the on-wire record size.
-func (p KMeansParams) pointBytes() int { return 4 * p.D }
+// pointBytes is the on-wire record size (coordinates plus metadata).
+func (p KMeansParams) pointBytes() int { return 4 * (p.D + p.MetaCols) }
 
 // kmeansCoord generates coordinate j of nominal point ord: points
 // cluster around K true centers so the algorithm has real structure.
@@ -93,11 +98,18 @@ func kmeansStageCost(g *core.GFlink, p KMeansParams) costmodel.StageCost {
 		blockBytes = 128 << 20
 	}
 	launches := (pointBytes + blockBytes - 1) / blockBytes
+	// With column projection enabled only the D coordinate columns cross
+	// PCIe; the MetaCols tail stays on the host.
+	var projected int64
+	if g.Cfg.EnableProjection && p.MetaCols > 0 {
+		projected = p.Points * int64(4*p.D)
+	}
 	return costmodel.StageCost{
 		Records:        p.Points,
 		CPUPerRec:      kernels.KMeansWork(p.K, p.D),
 		GPUWork:        kernels.KMeansWork(p.K, p.D).Scale(float64(p.Points)),
 		HostToDevice:   pointBytes,
+		ProjectedH2D:   projected,
 		H2DStreamed:    int64(4 * p.K * p.D * gpuLanes),
 		DeviceToHost:   int64(4*p.K*(p.D+1)) * launches,
 		Launches:       launches,
@@ -143,10 +155,15 @@ func KMeans(g *core.GFlink, p KMeansParams, opts plan.Options) Result {
 			})
 		},
 		func(ctx *plan.Ctx) {
-			schema := kernels.PointSchema(p.D)
+			// MetaCols > 0 widens the schema with trailing metadata columns
+			// the assign kernel never reads.
+			schema := kernels.PointSchema(p.D + p.MetaCols)
 			ds = core.NewGDST(g, ctx.Job, schema, gstruct.SoA, p.Points, p.Parallelism, func(part int, v gstruct.View, i int, ord int64) {
 				for jj := 0; jj < p.D; jj++ {
 					v.PutFloat32At(i, jj, 0, kmeansCoord(p.Seed, ord, jj, p.K))
+				}
+				for jj := p.D; jj < p.D+p.MetaCols; jj++ {
+					v.PutFloat32At(i, jj, 0, unit(p.Seed+777, uint64(ord)*53+uint64(jj)))
 				}
 			})
 			partialSchema = gstruct.MustNew(fmt.Sprintf("KPartial%dx%d", p.K, p.D), 4,
@@ -189,12 +206,13 @@ func KMeans(g *core.GFlink, p KMeansParams, opts plan.Options) Result {
 				perWorker := core.BroadcastBuffer(g, j, centBuf, int64(4*p.K*p.D))
 				tm0 := c.Clock.Now()
 				partials := core.GPUReducePartition(g, ds, core.GPUMapSpec{
-					Name:       "kmeansAssign",
-					Kernel:     kernels.KMeansAssignKernel,
-					OutSchema:  partialSchema,
-					OutLayout:  gstruct.AoS,
-					CacheInput: p.UseCache,
-					Args:       []int64{int64(p.K), int64(p.D)},
+					Name:         "kmeansAssign",
+					Kernel:       kernels.KMeansAssignKernel,
+					OutSchema:    partialSchema,
+					OutLayout:    gstruct.AoS,
+					CacheInput:   p.UseCache,
+					Args:         []int64{int64(p.K), int64(p.D)},
+					KernelPerRec: kernels.KMeansWork(p.K, p.D),
 					Extra: func(b *core.Block) []core.Input {
 						return []core.Input{{
 							Buf:     perWorker[b.Partition%workers],

@@ -22,7 +22,12 @@ type LinRegParams struct {
 	LearningRate float32
 	Parallelism  int
 	UseCache     bool
-	Seed         uint64
+	// MetaCols widens each sample with unread trailing float32 metadata
+	// columns after the label; the gradient kernel reads only the D+1
+	// feature/label prefix, so projection can drop them from the
+	// transfer channel (the abl-projection setup).
+	MetaCols int
+	Seed     uint64
 }
 
 func (p *LinRegParams) defaults() {
@@ -120,10 +125,15 @@ func LinRegGPU(g *core.GFlink, p LinRegParams) Result {
 	start := c.Clock.Now()
 	j := c.NewJob("linreg-gpu")
 	truth := linregTrueWeights(p.Seed, p.D)
-	schema := kernels.SampleSchema(p.D)
+	// MetaCols > 0 widens the schema with trailing metadata columns the
+	// gradient kernel never reads.
+	schema := kernels.SampleSchemaMeta(p.D, p.MetaCols)
 	ds := core.NewGDST(g, j, schema, gstruct.SoA, p.Samples, p.Parallelism, func(part int, v gstruct.View, i int, ord int64) {
 		for jj := 0; jj <= p.D; jj++ {
 			v.PutFloat32At(i, jj, 0, linregSample(p.Seed, truth, ord, jj, p.D))
+		}
+		for m := 0; m < p.MetaCols; m++ {
+			v.PutFloat32At(i, p.D+1+m, 0, unit(p.Seed+888, uint64(ord)*59+uint64(m)))
 		}
 	})
 	partialSchema := gstruct.MustNew("LRPartial", 4,
@@ -148,12 +158,13 @@ func LinRegGPU(g *core.GFlink, p LinRegParams) Result {
 		perWorker := core.BroadcastBuffer(g, j, wBuf, int64(4*(p.D+1)))
 		tm0 := c.Clock.Now()
 		partials := core.GPUReducePartition(g, ds, core.GPUMapSpec{
-			Name:       "linregGrad",
-			Kernel:     kernels.LinRegGradKernel,
-			OutSchema:  partialSchema,
-			OutLayout:  gstruct.AoS,
-			CacheInput: p.UseCache,
-			Args:       []int64{int64(p.D)},
+			Name:         "linregGrad",
+			Kernel:       kernels.LinRegGradKernel,
+			OutSchema:    partialSchema,
+			OutLayout:    gstruct.AoS,
+			CacheInput:   p.UseCache,
+			Args:         []int64{int64(p.D)},
+			KernelPerRec: kernels.LinRegWork(p.D),
 			Extra: func(b *core.Block) []core.Input {
 				return []core.Input{{
 					Buf:     perWorker[b.Partition%workers],
