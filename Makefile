@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet vet-baseline bench
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,20 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# go vet's standard checks plus the repo's own analyzer suite
+# go vet's standard checks plus the repo's own eleven-analyzer suite
 # (wallclock, clockgo, maporder, lockhold, lockorder, buflifecycle,
-# bufescape — see DESIGN.md "Concurrency & lifetime invariants").
+# bufescape, spanpair, clockflow, counterkey, outputpurity — see
+# DESIGN.md "Concurrency & lifetime invariants"). Findings recorded in
+# vet-baseline.json are suppressed: CI ratchets on NEW findings only.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/gflink-vet ./...
+	$(GO) run ./cmd/gflink-vet -baseline vet-baseline.json ./...
+
+# Re-record the suppression baseline. Run only when deliberately
+# accepting existing findings; the diff to vet-baseline.json is the
+# review surface.
+vet-baseline:
+	$(GO) run ./cmd/gflink-vet -write-baseline vet-baseline.json ./...
 
 bench:
 	$(GO) run ./cmd/gflink-bench -list

@@ -1,0 +1,15 @@
+package clockflow_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/clockflow"
+)
+
+// The dep fixture is listed first so its TimestampSink/VClockSource
+// facts exist when the dependent package is analyzed — the same order
+// the driver's topological sort produces.
+func TestClockflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), clockflow.Analyzer, "clockflow/dep", "clockflow")
+}

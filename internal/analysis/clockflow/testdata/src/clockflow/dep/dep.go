@@ -1,0 +1,21 @@
+// Fixture dependency for clockflow's cross-package fact flow: Stamp
+// forwards its parameter into a timestamp sink (so callers inherit the
+// obligation via a TimestampSink fact), and Reading is a VClockSource.
+package dep
+
+import (
+	"time"
+
+	"gflink/internal/obs"
+	"gflink/internal/vclock"
+)
+
+// Stamp records a span at t; t must be vclock-derived at every caller.
+func Stamp(tr *obs.Tracer, t time.Duration) {
+	tr.Record("track", "cat", "stamp", t, t)
+}
+
+// Reading returns a virtual-clock reading.
+func Reading(c *vclock.Clock) time.Duration {
+	return c.Now()
+}

@@ -1,0 +1,14 @@
+package counterkey_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/counterkey"
+)
+
+// The dep fixture is listed first so its CounterKey fact exists when
+// the dependent package is analyzed.
+func TestCounterkey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), counterkey.Analyzer, "counterkey/dep", "counterkey")
+}

@@ -1,0 +1,85 @@
+// Fixture for the counterkey analyzer: counter names reaching the obs
+// registry must be constant format strings matching the grammar.
+package counterkey
+
+import (
+	"fmt"
+	"strings"
+
+	"counterkey/dep"
+
+	"gflink/internal/obs"
+)
+
+func good(r *obs.Registry) {
+	r.Add("cache.hits", 1)
+	r.Add("sched.steals.w3", 1)
+	r.Add(fmt.Sprintf("xfer.h2d.bytes.gpu%d", 2), 64)
+	r.Add("cache.evictions.gpu11", 1)
+	r.Add("sched.direct", 1) // prefix of a valid key is valid
+}
+
+func typos(r *obs.Registry) {
+	r.Add("cache.hit", 1)      // want `does not match the metrics grammar`
+	r.Add("xfer.h2d.gpu0", 1)  // want `does not match the metrics grammar`
+	r.Add("queue.depth", 1)    // want `does not match the metrics grammar`
+	r.Add("sched.w3", 1)       // want `does not match the metrics grammar`
+	r.Add("cache.hits.cpu", 1) // want `does not match the metrics grammar`
+}
+
+func tooLong(r *obs.Registry) {
+	r.Add("sched.pooled.w1.extra", 1) // want `does not match the metrics grammar`
+}
+
+func formattedTail(r *obs.Registry, event string, gpu int) {
+	// A literal root with a formatted tail is accepted: the producers
+	// of the dynamic pieces are validated at their own call sites.
+	r.Add("cache."+event+fmt.Sprintf(".gpu%d", gpu), 1)
+	r.Add(fmt.Sprintf("xfer.d2h.bytes.gpu%d", gpu), 1)
+}
+
+func dynamicRoot(r *obs.Registry, parts []string) {
+	r.Add(strings.Join(parts, "."), 1) // want `not a compile-time constant`
+}
+
+func badRootFormat(r *obs.Registry) {
+	r.Add(fmt.Sprintf("%d.hits", 3), 1) // want `not a compile-time constant`
+}
+
+func viaLocal(r *obs.Registry) {
+	key := "sched.oops"
+	r.Add(key, 1) // want `does not match the metrics grammar`
+	ok := "cache.misses"
+	r.Add(ok, 1)
+}
+
+// helper roots its key at a parameter, so it acquires a CounterKey
+// obligation and its callers are checked instead.
+func helper(r *obs.Registry, name string) {
+	r.Add(fmt.Sprintf("%s.w%d", name, 3), 1)
+}
+
+func callsHelper(r *obs.Registry) {
+	helper(r, "sched.direct")
+	helper(r, "sched.oops") // want `does not match the metrics grammar`
+}
+
+// chained forwards its parameter into helper: the obligation
+// propagates through the package-local fixpoint.
+func chained(r *obs.Registry, name string) {
+	helper(r, name)
+}
+
+func callsChained(r *obs.Registry) {
+	chained(r, "sched.pooled")
+	chained(r, "flink.latency") // want `does not match the metrics grammar`
+}
+
+func crossPackage(r *obs.Registry) {
+	dep.KeyedCount(r, "sched.steals", 2)
+	dep.KeyedCount(r, "spark.shuffle", 2) // want `does not match the metrics grammar`
+}
+
+func waived(r *obs.Registry, key string) {
+	r.Add(key, 1) //gflink:counter-key -- bridge for externally-namespaced metrics
+}

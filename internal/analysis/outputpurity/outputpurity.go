@@ -1,0 +1,284 @@
+// Package outputpurity enforces DESIGN.md invariant 9: code that is
+// reachable only when an opt-in transfer feature (SoA column
+// projection, chunked double-buffered pipelining) is enabled must not
+// write result buffers except through the sanctioned copy paths, so
+// enabling a feature can change *when* bytes move but never *which*
+// bytes the caller observes.
+//
+// A function is feature-gated when its declaration carries a
+// //gflink:gated <feature> directive (the annotation the gated entry
+// points in internal/core carry), or transitively when every one of
+// its in-package static callers is gated — helpers reachable only from
+// gated code inherit the obligation; a single ungated caller breaks
+// the inheritance because the helper then also runs on the default
+// path, where full copies are the norm.
+//
+// Inside gated functions (function literals included) two things are
+// flagged:
+//
+//   - whole-buffer copies — the synchronous/async CUDAWrapper Memcpy
+//     entry points and the builtin copy — unless the site carries
+//     //gflink:real-copy;
+//   - ranged copies (Memcpy*RangesAsync) whose range-list argument
+//     cannot be proven to be either the empty shadow list
+//     ([]gpu.CopyRange{}, a charge-only op that moves no real bytes)
+//     or assigned under a chunk-boundary equality guard (k == 0 /
+//     k == chunks-1), the two sanctioned ways a chunked pipeline may
+//     move real bytes.
+//
+// The proof is flow-sensitive: each reaching definition of the range
+// list must individually be a shadow assignment or equality-guarded,
+// which is exactly the `ranges := shadow; if k == 0 { ranges = ... }`
+// idiom execChunked uses.
+package outputpurity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gflink/internal/analysis"
+)
+
+// Analyzer implements the outputpurity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "outputpurity",
+	Doc:  "feature-gated code must not write result buffers outside the sanctioned shadow/chunk-boundary copy paths",
+	Run:  run,
+}
+
+const corePath = "gflink/internal/core"
+
+// wholeCopy lists the CUDAWrapper entry points that move a full
+// buffer in one call.
+var wholeCopy = map[string]bool{
+	"CUDAWrapper.MemcpyH2D":      true,
+	"CUDAWrapper.MemcpyD2H":      true,
+	"CUDAWrapper.MemcpyH2DAsync": true,
+	"CUDAWrapper.MemcpyD2HAsync": true,
+}
+
+// rangedCopy maps the ranged entry points to the index of their
+// range-list argument.
+var rangedCopy = map[string]int{
+	"CUDAWrapper.MemcpyH2DRangesAsync": 3,
+	"CUDAWrapper.MemcpyD2HRangesAsync": 3,
+}
+
+// scope is one declared function in a non-test file.
+type scope struct {
+	obj  *types.Func
+	fd   *ast.FuncDecl
+	rd   *analysis.ReachingDefs
+	idx  map[string]map[int]bool
+	info *types.Info
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	var scopes []*scope
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		idx := analysis.DirectiveIndex(pass.Fset, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cfg := analysis.BuildCFG(info, fd.Body)
+			scopes = append(scopes, &scope{
+				obj:  obj,
+				fd:   fd,
+				rd:   analysis.NewReachingDefs(info, cfg, fd.Recv, fd.Type),
+				idx:  idx,
+				info: info,
+			})
+		}
+	}
+
+	// Callers of each in-package function, from non-test files only
+	// (so a test exercising a helper directly cannot flip its
+	// gatedness between runs that do and don't load tests).
+	callers := make(map[*types.Func]map[*types.Func]bool)
+	declared := make(map[*types.Func]bool, len(scopes))
+	for _, sc := range scopes {
+		declared[sc.obj] = true
+	}
+	for _, sc := range scopes {
+		ast.Inspect(sc.fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.StaticCallee(info, call)
+			if callee == nil || !declared[callee] {
+				return true
+			}
+			if callers[callee] == nil {
+				callers[callee] = make(map[*types.Func]bool)
+			}
+			callers[callee][sc.obj] = true
+			return true
+		})
+	}
+
+	// Gatedness: directive-seeded, then propagated to every function
+	// all of whose callers are gated (least fixpoint — monotone, since
+	// growing the gated set can only satisfy more "all callers" tests).
+	gated := make(map[*types.Func]bool)
+	for _, sc := range scopes {
+		if analysis.DirectiveAt(sc.idx, pass.Fset, "gated", sc.fd.Pos()) {
+			gated[sc.obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range scopes {
+			if gated[sc.obj] || len(callers[sc.obj]) == 0 {
+				continue
+			}
+			all := true
+			for c := range callers[sc.obj] {
+				if !gated[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				gated[sc.obj] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, sc := range scopes {
+		if gated[sc.obj] {
+			checkGated(pass, sc)
+		}
+	}
+	return nil, nil
+}
+
+// checkGated walks one gated function (nested literals included) and
+// flags unsanctioned buffer writes.
+func checkGated(pass *analysis.Pass, sc *scope) {
+	ast.Inspect(sc.fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.DirectiveAt(sc.idx, pass.Fset, "real-copy", call.Pos()) {
+			return true
+		}
+		if isBuiltinCopy(sc.info, call) {
+			pass.Reportf(call.Pos(), "whole-buffer copy inside feature-gated code; gated paths must not write result buffers outside the sanctioned ranged-copy paths (invariant 9; //gflink:real-copy if the full copy is the sanctioned one)")
+			return true
+		}
+		fn := analysis.StaticCallee(sc.info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != corePath {
+			return true
+		}
+		key := analysis.ObjectKey(fn)
+		if wholeCopy[key] {
+			pass.Reportf(call.Pos(), "whole-buffer copy inside feature-gated code; gated paths must not write result buffers outside the sanctioned ranged-copy paths (invariant 9; //gflink:real-copy if the full copy is the sanctioned one)")
+			return true
+		}
+		if i, ok := rangedCopy[key]; ok && i < len(call.Args) {
+			if !sc.rangesSanctioned(call.Args[i]) {
+				pass.Reportf(call.Args[i].Pos(), "range list of a gated ranged copy is neither the empty shadow list nor assigned under a chunk-boundary equality guard; gated code must not perform unguarded full copies (invariant 9)")
+			}
+		}
+		return true
+	})
+}
+
+// rangesSanctioned proves a range-list argument moves real bytes only
+// at chunk boundaries: every reaching definition is either a shadow
+// (empty) list or sits under an equality guard.
+func (sc *scope) rangesSanctioned(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if isEmptyComposite(e) {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	defs := sc.rd.DefsAt(id)
+	if len(defs) == 0 {
+		return false // untracked, or used inside a nested literal
+	}
+	for _, d := range defs {
+		if sc.defSanctioned(d, nil) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (sc *scope) defSanctioned(d *analysis.Def, visited map[*analysis.Def]bool) bool {
+	if g, ok := d.Guard().(*ast.BinaryExpr); ok && g.Op == token.EQL {
+		return true // chunk-boundary guard: k == 0 / k == chunks-1
+	}
+	if d.Kind != analysis.DefAssign || d.Multi || d.RHS == nil {
+		return false
+	}
+	return sc.shadowExpr(d.RHS, visited)
+}
+
+// shadowExpr reports whether an expression is provably the empty
+// shadow range list, directly or through tracked assignments.
+func (sc *scope) shadowExpr(e ast.Expr, visited map[*analysis.Def]bool) bool {
+	e = ast.Unparen(e)
+	if isEmptyComposite(e) {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	defs := sc.rd.DefsAt(id)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if visited[d] {
+			return false
+		}
+		if visited == nil {
+			visited = make(map[*analysis.Def]bool)
+		}
+		visited[d] = true
+		ok := d.Kind == analysis.DefAssign && !d.Multi && d.RHS != nil && sc.shadowExpr(d.RHS, visited)
+		delete(visited, d)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func isEmptyComposite(e ast.Expr) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}
+
+// isBuiltinCopy recognizes the builtin copy, which StaticCallee cannot
+// resolve (builtins have no *types.Func).
+func isBuiltinCopy(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "copy" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,12 @@
+package outputpurity_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/outputpurity"
+)
+
+func TestOutputpurity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), outputpurity.Analyzer, "outputpurity")
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"gflink/internal/analysis/analysistest"
+	"gflink/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanpair.Analyzer, "spanpair")
+}

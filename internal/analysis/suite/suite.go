@@ -7,10 +7,14 @@ import (
 	"gflink/internal/analysis"
 	"gflink/internal/analysis/bufescape"
 	"gflink/internal/analysis/buflifecycle"
+	"gflink/internal/analysis/clockflow"
 	"gflink/internal/analysis/clockgo"
+	"gflink/internal/analysis/counterkey"
 	"gflink/internal/analysis/lockhold"
 	"gflink/internal/analysis/lockorder"
 	"gflink/internal/analysis/maporder"
+	"gflink/internal/analysis/outputpurity"
+	"gflink/internal/analysis/spanpair"
 	"gflink/internal/analysis/wallclock"
 )
 
@@ -27,10 +31,18 @@ import (
 //   - buflifecycle and bufescape run module-wide except internal/membuf,
 //     which constructs, destroys, and aliases HBuffer storage by
 //     definition.
+//   - the flow-sensitive observability analyzers (spanpair, clockflow,
+//     counterkey, outputpurity) run module-wide: they fire only on
+//     calls into the obs/core recording APIs or on //gflink:gated
+//     code, so an unrestricted scope costs nothing outside those and
+//     catches misuse wherever it appears (clockflow and counterkey
+//     skip _test.go files themselves — fixtures pin literal
+//     timestamps and probe counters by design).
 //
-// maporder, lockorder and bufescape carry fact types, so the driver
-// also runs them over module-internal dependencies of the requested
-// packages (facts only) before analyzing the targets.
+// maporder, lockorder, bufescape, clockflow and counterkey carry fact
+// types, so the driver also runs them over module-internal
+// dependencies of the requested packages (facts only) before analyzing
+// the targets.
 func Rules() []analysis.Rule {
 	internal := analysis.Under("gflink/internal")
 	return []analysis.Rule{
@@ -41,6 +53,10 @@ func Rules() []analysis.Rule {
 		{Analyzer: lockorder.Analyzer, Applies: analysis.Except(nil, "gflink/internal/vclock")},
 		{Analyzer: buflifecycle.Analyzer, Applies: analysis.Except(nil, "gflink/internal/membuf")},
 		{Analyzer: bufescape.Analyzer, Applies: analysis.Except(nil, "gflink/internal/membuf")},
+		{Analyzer: spanpair.Analyzer},
+		{Analyzer: clockflow.Analyzer},
+		{Analyzer: counterkey.Analyzer},
+		{Analyzer: outputpurity.Analyzer},
 	}
 }
 

@@ -7,9 +7,12 @@ import (
 	"gflink/internal/analysis/suite"
 )
 
-// TestSuiteHasSevenAnalyzers pins the suite's composition: the seven
-// invariants of DESIGN.md "Concurrency & lifetime invariants".
-func TestSuiteHasSevenAnalyzers(t *testing.T) {
+// TestSuiteHasElevenAnalyzers pins the suite's composition: the seven
+// lexical/interprocedural checks of DESIGN.md "Concurrency & lifetime
+// invariants" plus the four flow-sensitive observability analyzers
+// that enforce invariants 8–9 (spanpair, clockflow, counterkey,
+// outputpurity).
+func TestSuiteHasElevenAnalyzers(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range suite.Analyzers() {
 		names[a.Name] = true
@@ -18,13 +21,14 @@ func TestSuiteHasSevenAnalyzers(t *testing.T) {
 		"wallclock", "clockgo", "maporder",
 		"lockhold", "lockorder",
 		"buflifecycle", "bufescape",
+		"spanpair", "clockflow", "counterkey", "outputpurity",
 	} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
 	}
-	if len(names) != 7 {
-		t.Errorf("suite has %d analyzers, want 7", len(names))
+	if len(names) != 11 {
+		t.Errorf("suite has %d analyzers, want 11", len(names))
 	}
 }
 

@@ -72,6 +72,8 @@ func nominalShare(n int64, chunks, k int) int64 {
 // pipeline. Setup (admission, cache lookups, allocation, pinning) and
 // teardown (cache insertion, frees) are identical to the monolithic
 // path; only the transfer/kernel middle differs.
+//
+//gflink:gated chunking -- reachable only when chunked pipelining is enabled; outputpurity holds it to shadow/boundary copies
 func (sw *streamWorker) execChunked(w *GWork, chunks int) {
 	mgr := sw.mgr
 	dev := sw.ds.dev
@@ -125,6 +127,16 @@ func (sw *streamWorker) execChunked(w *GWork, chunks int) {
 			CacheMisses: cacheMisses,
 			StolenFrom:  w.stolenFrom,
 		}
+		// Mirror the monolithic fail path: a failed work still queued
+		// and still occupied the stream, so the trace records the queue
+		// wait and a failed gwork span instead of a hole.
+		mgr.tracer.Record(sw.ds.queueTrack, "queue", "queue:"+w.ExecuteName,
+			w.submitT, tStart, obs.Int("device", int64(dev.ID)))
+		mgr.tracer.Record(sw.track, "gwork", w.ExecuteName,
+			tStart, mgr.clock.Now(),
+			obs.Int("device", int64(dev.ID)),
+			obs.Int("job", int64(w.JobID)),
+			obs.Str("error", err.Error()))
 		w.done.Set()
 	}
 

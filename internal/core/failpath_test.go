@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+)
+
+// TestFailedWorkEmitsSpans pins the fail-path trace contract on both
+// pipelines: a GWork that dies in setup (here: an input whose nominal
+// volume can never be allocated) still queued and still occupied a
+// stream, so it must leave a queue span and an error-annotated gwork
+// span instead of a hole in the trace.
+func TestFailedWorkEmitsSpans(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		chunks int
+	}{
+		{"monolithic", 0},
+		{"chunked", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(Config{
+				Config:         flink.Config{Workers: 1, Model: costmodel.Default(), ScaleDivisor: 1},
+				GPUsPerWorker:  1,
+				EnableChunking: true,
+			})
+			g.Run(func() {
+				pool := g.Cluster.TaskManagers[0].Pool
+				in := pool.MustAllocate(64)
+				out := pool.MustAllocate(64)
+				w := &GWork{
+					ExecuteName: "core_test.double",
+					Size:        16,
+					Nominal:     16,
+					BlockSize:   256,
+					GridSize:    1,
+					Chunks:      tc.chunks,
+					In:          []Input{{Buf: in, Nominal: 1 << 50}},
+					Out:         out,
+					OutNominal:  64,
+				}
+				g.Manager(0).Streams.Submit(w)
+				if err := w.Wait(); err == nil {
+					t.Fatal("oversized input must fail allocation")
+				}
+			})
+			spans := g.Obs.Tracer().Spans()
+			if len(spans) != 2 {
+				t.Fatalf("got %d spans, want 2 (queue + failed gwork)", len(spans))
+			}
+			var queue, gwork bool
+			for _, s := range spans {
+				switch s.Cat {
+				case "queue":
+					queue = true
+				case "gwork":
+					gwork = true
+					var errAttr bool
+					for _, a := range s.Attrs {
+						if a.Key == "error" {
+							errAttr = true
+						}
+					}
+					if !errAttr {
+						t.Errorf("failed gwork span %q carries no error attribute", s.Name)
+					}
+					if s.End < s.Start {
+						t.Errorf("failed gwork span ends before it starts")
+					}
+				}
+			}
+			if !queue || !gwork {
+				t.Errorf("span categories missing: queue=%v gwork=%v", queue, gwork)
+			}
+		})
+	}
+}

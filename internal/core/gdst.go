@@ -269,6 +269,8 @@ func GPUMapPartition(g *GFlink, ds GDST, spec GPUMapSpec) GDST {
 // ranges at their original offsets — nominal volume, cache key and real
 // copy all shrink together. Otherwise the input is returned unchanged,
 // keeping the default path byte-identical.
+//
+//gflink:gated projection -- effective only when projection is enabled; outputpurity holds it to shadow/boundary copies
 func projectInput(g *GFlink, kernel string, b *Block, in Input, args []int64) Input {
 	if !g.Cfg.EnableProjection || b.Layout != gstruct.SoA || b.Schema.NumFields() > gstruct.MaxCols {
 		return in

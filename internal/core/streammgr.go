@@ -466,6 +466,16 @@ func (sw *streamWorker) exec(w *GWork) {
 			CacheMisses: cacheMisses,
 			StolenFrom:  w.stolenFrom,
 		}
+		// A failed work still queued and still occupied the stream:
+		// record the queue wait and a failed gwork span so the trace
+		// has no hole where the work died.
+		mgr.tracer.Record(sw.ds.queueTrack, "queue", "queue:"+w.ExecuteName,
+			w.submitT, tStart, obs.Int("device", int64(dev.ID)))
+		mgr.tracer.Record(sw.track, "gwork", w.ExecuteName,
+			tStart, mgr.clock.Now(),
+			obs.Int("device", int64(dev.ID)),
+			obs.Int("job", int64(w.JobID)),
+			obs.Str("error", err.Error()))
 		w.done.Set()
 	}
 

@@ -105,6 +105,46 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// OpenSpan is a span opened by Tracer.Begin and still awaiting its end
+// timestamp. Nothing is recorded until End runs — an OpenSpan that is
+// dropped leaves no trace, which is why the gflink-vet spanpair
+// analyzer proves every Begin reaches an End (or a visible ownership
+// transfer) on all paths out of the opening function.
+type OpenSpan struct {
+	t     *Tracer
+	track string
+	cat   string
+	name  string
+	start time.Duration
+	attrs []Attr
+}
+
+// Begin opens a span at a virtual-clock timestamp. The span is recorded
+// when End is called; until then it is invisible to Spans/Len. Begin on
+// a nil tracer returns nil, and End on a nil OpenSpan is a no-op, so
+// the pair is as thread-through-able as Record.
+func (t *Tracer) Begin(track, cat, name string, start time.Duration, attrs ...Attr) *OpenSpan {
+	if t == nil {
+		return nil
+	}
+	return &OpenSpan{t: t, track: track, cat: cat, name: name, start: start, attrs: attrs}
+}
+
+// End completes the span at a virtual-clock timestamp, appending any
+// extra attributes after the ones given to Begin. The recording order
+// (and with it the span's Seq) is the order of End calls, exactly as if
+// the caller had invoked Record at this point.
+func (s *OpenSpan) End(end time.Duration, attrs ...Attr) {
+	if s == nil || s.t == nil {
+		return
+	}
+	all := s.attrs
+	if len(attrs) > 0 {
+		all = append(append([]Attr(nil), s.attrs...), attrs...)
+	}
+	s.t.Record(s.track, s.cat, s.name, s.start, end, all...)
+}
+
 // WorkReport is the per-GWork execution report: where the work ran and
 // what each pipeline stage cost. GWork.Report returns it; RecordGWork
 // turns it into a span tree.

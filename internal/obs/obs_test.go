@@ -36,10 +36,59 @@ func TestTracerRecordsInOrder(t *testing.T) {
 	}
 }
 
+// TestBeginEndRecordsAtEnd checks that an open span is invisible until
+// End, that End merges Begin-time and End-time attrs in order, and that
+// Seq is assigned by End order — i.e. Begin/End is sequencing-identical
+// to calling Record at the End site.
+func TestBeginEndRecordsAtEnd(t *testing.T) {
+	tr := NewTracer()
+	open := tr.Begin("driver", "plan", "a", 10, Str("k", "v"))
+	if tr.Len() != 0 {
+		t.Fatal("Begin must not record anything")
+	}
+	tr.Record("driver", "plan", "b", 11, 12)
+	open.End(20, Int("n", 3))
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "b" || spans[0].Seq != 0 {
+		t.Errorf("first recorded span = %+v, want b with Seq 0", spans[0])
+	}
+	a := spans[1]
+	if a.Name != "a" || a.Start != 10 || a.End != 20 || a.Seq != 1 {
+		t.Errorf("span a = %+v", a)
+	}
+	if len(a.Attrs) != 2 || a.Attrs[0].Key != "k" || a.Attrs[1].Key != "n" {
+		t.Errorf("a.Attrs = %+v, want Begin attrs then End attrs", a.Attrs)
+	}
+}
+
+// TestBeginEndDoesNotAliasBeginAttrs ensures ending a span with extra
+// attrs never mutates the slice handed to Begin (two spans from one
+// Begin-attr slice must not corrupt each other).
+func TestBeginEndDoesNotAliasBeginAttrs(t *testing.T) {
+	tr := NewTracer()
+	base := make([]Attr, 1, 4)
+	base[0] = Str("k", "v")
+	s1 := tr.Begin("t", "c", "one", 0, base...)
+	s1.End(1, Str("end", "one"))
+	if base[:cap(base)][1] == (Attr{Key: "end", Val: "one"}) {
+		t.Error("End wrote into the Begin attr slice's spare capacity")
+	}
+	spans := tr.Spans()
+	if len(spans[0].Attrs) != 2 {
+		t.Errorf("span attrs = %+v", spans[0].Attrs)
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var tr *Tracer
 	tr.Record("x", "y", "z", 0, 1)
 	tr.RecordGWork("s", "q", "w", 0, 1, WorkReport{})
+	tr.Begin("x", "y", "z", 0).End(1)
+	var open *OpenSpan
+	open.End(1)
 	if tr.Len() != 0 || tr.Spans() != nil {
 		t.Error("nil tracer is not a no-op")
 	}

@@ -324,17 +324,17 @@ func (gr *Graph) Execute() {
 	}
 	gr.executed = true
 	clock := st.g.Cluster.Clock
-	t0 := clock.Now()
+	sp := st.tracer.Begin(driverTrack, "plan", "plan:"+gr.name, clock.Now(),
+		obs.Str("mode", st.opts.Mode.String()),
+		obs.Bool("chaining", !st.opts.DisableChaining),
+		obs.Int("nodes", int64(len(gr.nodes))))
 	st.job = st.g.Cluster.NewJob(gr.name)
 	ctx := &Ctx{G: st.g, Job: st.job, st: st}
 	for _, group := range st.groupOrder {
 		st.place(group)
 	}
 	gr.runNodes(ctx)
-	st.tracer.Record(driverTrack, "plan", "plan:"+gr.name, t0, clock.Now(),
-		obs.Str("mode", st.opts.Mode.String()),
-		obs.Bool("chaining", !st.opts.DisableChaining),
-		obs.Int("nodes", int64(len(gr.nodes))))
+	sp.End(clock.Now())
 }
 
 // driverTrack is the trace track plan-layer spans land on: the driver
@@ -414,15 +414,16 @@ func Iterate(gr *Graph, name string, n int, body func(it int, sub *Graph)) *Iter
 			clock := ctx.G.Cluster.Clock
 			for it := 0; it < n; it++ {
 				t0 := clock.Now()
+				sp := gr.st.tracer.Begin(driverTrack, "iteration",
+					fmt.Sprintf("%s#%d", name, it), t0,
+					obs.Int("iteration", int64(it)))
 				sub := &Graph{st: gr.st, name: gr.name}
 				body(it, sub)
 				sub.runNodes(ctx)
 				ctx.Job.Superstep()
 				t1 := clock.Now()
 				stats.Durations = append(stats.Durations, t1-t0)
-				gr.st.tracer.Record(driverTrack, "iteration",
-					fmt.Sprintf("%s#%d", name, it), t0, t1,
-					obs.Int("iteration", int64(it)))
+				sp.End(t1)
 			}
 			return nil
 		},
