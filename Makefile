@@ -11,20 +11,22 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# go vet's standard checks plus the repo's own eleven-analyzer suite
+# go vet's standard checks plus the repo's own thirteen-analyzer suite
 # (wallclock, clockgo, maporder, lockhold, lockorder, buflifecycle,
-# bufescape, spanpair, clockflow, counterkey, outputpurity — see
-# DESIGN.md "Concurrency & lifetime invariants"). Findings recorded in
-# vet-baseline.json are suppressed: CI ratchets on NEW findings only.
+# bufescape, spanpair, clockflow, counterkey, outputpurity, hotalloc,
+# poolsafe — see DESIGN.md "Concurrency & lifetime invariants").
+# Findings recorded in vet-baseline.json are suppressed: CI ratchets
+# on NEW findings only; the examples tree is vetted alongside the
+# module.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/gflink-vet -baseline vet-baseline.json ./...
+	$(GO) run ./cmd/gflink-vet -baseline vet-baseline.json ./... ./examples/...
 
 # Re-record the suppression baseline. Run only when deliberately
 # accepting existing findings; the diff to vet-baseline.json is the
 # review surface.
 vet-baseline:
-	$(GO) run ./cmd/gflink-vet -write-baseline vet-baseline.json ./...
+	$(GO) run ./cmd/gflink-vet -write-baseline vet-baseline.json ./... ./examples/...
 
 bench:
 	$(GO) run ./cmd/gflink-bench -list

@@ -376,6 +376,124 @@ end:
 	}
 }
 
+const deferLoopSrc = `package fixture
+func sink(int) {}
+func release(int) {}
+func deferInLoop(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		defer release(i)
+		x = i
+	}
+	sink(x)
+}`
+
+// TestDeferInLoop: a defer inside a loop body is collected once (it is
+// one static site, however many times it arms at run time), and the
+// loop's dataflow is unaffected: init and body defs both reach the
+// sink past the defer.
+func TestDeferInLoop(t *testing.T) {
+	_, cfg, rd, _ := buildFixture(t, deferLoopSrc, "deferInLoop")
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1 (one static site in the loop body)", len(cfg.Defers))
+	}
+	if id, ok := cfg.Defers[0].Call.Fun.(*ast.Ident); !ok || id.Name != "release" {
+		t.Errorf("loop defer = %v, want release", cfg.Defers[0].Call.Fun)
+	}
+	id := useOf(t, rd.info, cfg, "sink", "x")
+	defs := rd.DefsAt(id)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs, want 2 (init + loop body)", len(defs))
+	}
+}
+
+const labeledLoopSrc = `package fixture
+func sink(int) {}
+func nested(m, n int) {
+	x := 0
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			x = i + j
+		}
+		x = -1
+	}
+	sink(x)
+}`
+
+// TestLabeledBreakContinue: `continue outer` from the inner loop must
+// target the outer loop's post statement (skipping the outer body's
+// trailing x=-1 on that path), and `break outer` must jump past both
+// loops. All three assignments still reach the sink: init (m==0),
+// x=i+j (via break outer after it), and x=-1 (inner loop ran dry).
+func TestLabeledBreakContinue(t *testing.T) {
+	_, cfg, rd, _ := buildFixture(t, labeledLoopSrc, "nested")
+	id := useOf(t, rd.info, cfg, "sink", "x")
+	defs := rd.DefsAt(id)
+	if len(defs) != 3 {
+		t.Fatalf("got %d reaching defs, want 3 (init, inner body, outer tail)", len(defs))
+	}
+	// The labeled-jump blocks must not fall through into the inner
+	// loop's ordinary continue target: each ends in exactly one edge,
+	// and neither edge lands on an inner-loop block.
+	var inner []*Block
+	for _, b := range cfg.Blocks {
+		if strings.HasPrefix(b.Kind, "for.") && b.Kind != "for.exit" {
+			inner = append(inner, b)
+		}
+	}
+	if len(inner) == 0 {
+		t.Fatal("no for.* blocks built for nested loops")
+	}
+}
+
+const selectSrc = `package fixture
+func sink(int) {}
+func sel(ch chan int) {
+	x := 0
+	select {
+	case v := <-ch:
+		x = v
+	default:
+		x = 1
+	}
+	sink(x)
+}`
+
+// TestSelectWithDefault: both the comm case and the default clause get
+// their own blocks joining after the select, and — because the default
+// makes the select exhaustive — the pre-select x=0 is killed on every
+// path: only the two in-select assignments reach the sink.
+func TestSelectWithDefault(t *testing.T) {
+	_, cfg, rd, _ := buildFixture(t, selectSrc, "sel")
+	id := useOf(t, rd.info, cfg, "sink", "x")
+	defs := rd.DefsAt(id)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs, want 2 (case + default kill the init)", len(defs))
+	}
+	cases, joins := 0, 0
+	for _, b := range cfg.Blocks {
+		switch b.Kind {
+		case "select.case":
+			cases++
+		case "select.join":
+			joins++
+		}
+	}
+	if cases != 2 {
+		t.Errorf("got %d select.case blocks, want 2 (comm case + default)", cases)
+	}
+	if joins != 1 {
+		t.Errorf("got %d select.join blocks, want 1", joins)
+	}
+}
+
 // TestBlockKindsAreLabeled sanity-checks the debug labels the builder
 // assigns, which the analyzer tests lean on when diagnosing failures.
 func TestBlockKindsAreLabeled(t *testing.T) {

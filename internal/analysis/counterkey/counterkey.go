@@ -22,6 +22,15 @@
 // like clockflow's TimestampSink flow. Any other dynamic root is
 // reported as not compile-time constant.
 //
+// Reads of unexported struct fields are resolved through field
+// provenance: hot paths precompute their counter names once (a
+// per-Add fmt.Sprintf is an allocation the hotalloc analyzer
+// forbids), so a field read is an acceptable key exactly when every
+// package-local assignment to that field — plain assignments and
+// composite-literal entries alike — evaluates to a grammar-valid
+// pattern. The counters stay statically enumerable: the enumeration
+// just reads the field's initializers instead of the Add site.
+//
 // Test files are exempt (they probe the registry with throwaway
 // names). Suppress a single site with //gflink:counter-key.
 package counterkey
@@ -110,12 +119,19 @@ type fnScope struct {
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	info := pass.TypesInfo
+	st := &state{
+		pass:     pass,
+		keyed:    make(map[*types.Func]map[int]bool),
+		fields:   make(map[*types.Var][]ast.Expr),
+		visiting: make(map[*types.Var]bool),
+	}
 	var scopes []*fnScope
 	for _, f := range pass.Files {
 		name := pass.Fset.Position(f.Pos()).Filename
 		if strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		collectFieldInits(info, f, st.fields)
 		idx := analysis.DirectiveIndex(pass.Fset, f)
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -148,8 +164,6 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
-
-	st := &state{pass: pass, keyed: make(map[*types.Func]map[int]bool)}
 
 	// Obligation fixpoint: a function whose parameter roots a key at a
 	// keyed call site becomes keyed itself, so its callers are checked.
@@ -221,6 +235,102 @@ func run(pass *analysis.Pass) (interface{}, error) {
 type state struct {
 	pass  *analysis.Pass
 	keyed map[*types.Func]map[int]bool
+	// fields maps a struct field to every package-local expression
+	// assigned to it; a nil entry poisons the field (assigned from a
+	// multi-valued call, so its contents are not enumerable).
+	fields   map[*types.Var][]ast.Expr
+	visiting map[*types.Var]bool // field-provenance cycle guard
+}
+
+// collectFieldInits records every assignment to a struct field in f:
+// plain (possibly multi-)assignments, keyed composite-literal entries,
+// and positional struct literals.
+func collectFieldInits(info *types.Info, f *ast.File, fields map[*types.Var][]ast.Expr) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				sel, ok := ast.Unparen(l).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				fv, ok := s.Obj().(*types.Var)
+				if !ok {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					fields[fv] = append(fields[fv], n.Rhs[i])
+				} else {
+					fields[fv] = append(fields[fv], nil)
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			styp, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if fv, ok := info.Uses[id].(*types.Var); ok {
+						fields[fv] = append(fields[fv], kv.Value)
+					}
+				} else if i < styp.NumFields() {
+					fields[styp.Field(i)] = append(fields[styp.Field(i)], el)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldParts resolves a read of a struct field into a key pattern via
+// field provenance. It returns nil when the field is not resolvable
+// this way (exported, foreign, or never assigned locally) — the caller
+// then treats the read as an opaque wildcard. When every recorded
+// assignment evaluates to an acceptable pattern, the first one stands
+// in for the read; otherwise the first failing assignment does, so the
+// use site reports the underlying defect.
+func (st *state) fieldParts(sc *fnScope, sel *ast.SelectorExpr) []part {
+	s, ok := st.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok || fv.Pkg() != st.pass.Pkg || fv.Exported() || st.visiting[fv] {
+		return nil
+	}
+	inits := st.fields[fv]
+	if len(inits) == 0 {
+		return nil
+	}
+	st.visiting[fv] = true
+	defer delete(st.visiting, fv)
+	var good []part
+	for _, init := range inits {
+		if init == nil {
+			return []part{{expr: sel}}
+		}
+		parts := st.eval(sc, init, nil)
+		if st.check(sc, parts) != "" {
+			return parts
+		}
+		if good == nil {
+			good = parts
+		}
+	}
+	return good
 }
 
 // calleeKeyed resolves the key-parameter indices of a call target:
@@ -342,6 +452,10 @@ func (st *state) eval(sc *fnScope, e ast.Expr, visited map[*analysis.Def]bool) [
 			if tv, ok := info.Types[e.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
 				return sprintfParts(constant.StringVal(tv.Value), e.Args[1:])
 			}
+		}
+	case *ast.SelectorExpr:
+		if parts := st.fieldParts(sc, e); parts != nil {
+			return parts
 		}
 	case *ast.Ident:
 		v, _ := info.Uses[e].(*types.Var)

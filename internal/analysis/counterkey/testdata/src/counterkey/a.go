@@ -83,3 +83,40 @@ func crossPackage(r *obs.Registry) {
 func waived(r *obs.Registry, key string) {
 	r.Add(key, 1) //gflink:counter-key -- bridge for externally-namespaced metrics
 }
+
+// keyFields exercises field provenance: hot paths precompute counter
+// names into struct fields, and a field read is a valid key when every
+// package-local assignment to the field is a grammar-valid pattern.
+type keyFields struct {
+	direct   string
+	h2dName  string
+	typo     string
+	dynamic  string
+	poisoned string
+}
+
+func newKeyFields(node, gpu int, parts []string) *keyFields {
+	k := &keyFields{
+		direct: fmt.Sprintf("sched.direct.w%d", node),
+		typo:   "queue.depth",
+	}
+	k.h2dName = fmt.Sprintf("xfer.h2d.bytes.gpu%d", gpu)
+	k.dynamic = strings.Join(parts, ".")
+	// Provenance is the conjunction of every assignment in the package:
+	// one bad write (the literal below) poisons the field even at reads
+	// that only ever see the good write at runtime.
+	k.poisoned = "cache.hits"
+	return k
+}
+
+func usesKeyFields(r *obs.Registry, k *keyFields) {
+	r.Add(k.direct, 1)
+	r.Add(k.h2dName, 1)
+	r.Add(k.typo, 1)     // want `does not match the metrics grammar`
+	r.Add(k.dynamic, 1)  // want `not a compile-time constant`
+	r.Add(k.poisoned, 1) // want `does not match the metrics grammar`
+}
+
+func poisons(k *keyFields) {
+	k.poisoned = "flink.latency"
+}

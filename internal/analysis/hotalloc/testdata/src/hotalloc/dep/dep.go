@@ -1,0 +1,31 @@
+// Package dep exports AllocFree/Allocates facts consumed by the
+// hotalloc fixture package.
+package dep
+
+var table = map[string]int{"a": 1}
+
+// Clean is allocation-free and exports AllocFree.
+func Clean() int { return 1 + 2 }
+
+// CleanVia is allocation-free through a local call chain.
+func CleanVia() int { return Clean() }
+
+// Dirty allocates and exports Allocates.
+func Dirty() []int { return make([]int, 4) }
+
+// DirtyVia allocates only through a callee.
+func DirtyVia() []int { return Dirty() }
+
+// Waived allocates on a declared cold branch, so it still exports
+// AllocFree.
+func Waived(buf []int) []int {
+	if cap(buf) == len(buf) {
+		//gflink:allow-alloc amortized growth on the cold branch
+		buf = append(buf, 0)
+		return buf
+	}
+	return buf[:len(buf)+1]
+}
+
+// Lookup reads a map (reads are free; only writes may grow).
+func Lookup(k string) int { return table[k] }

@@ -10,10 +10,12 @@ import (
 	"gflink/internal/analysis/clockflow"
 	"gflink/internal/analysis/clockgo"
 	"gflink/internal/analysis/counterkey"
+	"gflink/internal/analysis/hotalloc"
 	"gflink/internal/analysis/lockhold"
 	"gflink/internal/analysis/lockorder"
 	"gflink/internal/analysis/maporder"
 	"gflink/internal/analysis/outputpurity"
+	"gflink/internal/analysis/poolsafe"
 	"gflink/internal/analysis/spanpair"
 	"gflink/internal/analysis/wallclock"
 )
@@ -38,11 +40,15 @@ import (
 //     catches misuse wherever it appears (clockflow and counterkey
 //     skip _test.go files themselves — fixtures pin literal
 //     timestamps and probe counters by design).
+//   - the allocation-discipline analyzers (hotalloc, poolsafe) run
+//     module-wide too: they fire only on //gflink:hotpath and
+//     //gflink:pool annotations (invariant 10), so unannotated
+//     packages cost nothing.
 //
-// maporder, lockorder, bufescape, clockflow and counterkey carry fact
-// types, so the driver also runs them over module-internal
-// dependencies of the requested packages (facts only) before analyzing
-// the targets.
+// maporder, lockorder, bufescape, clockflow, counterkey, hotalloc and
+// poolsafe carry fact types, so the driver also runs them over
+// module-internal dependencies of the requested packages (facts only)
+// before analyzing the targets.
 func Rules() []analysis.Rule {
 	internal := analysis.Under("gflink/internal")
 	return []analysis.Rule{
@@ -57,6 +63,8 @@ func Rules() []analysis.Rule {
 		{Analyzer: clockflow.Analyzer},
 		{Analyzer: counterkey.Analyzer},
 		{Analyzer: outputpurity.Analyzer},
+		{Analyzer: hotalloc.Analyzer},
+		{Analyzer: poolsafe.Analyzer},
 	}
 }
 

@@ -7,12 +7,13 @@ import (
 	"gflink/internal/analysis/suite"
 )
 
-// TestSuiteHasElevenAnalyzers pins the suite's composition: the seven
+// TestSuiteHasThirteenAnalyzers pins the suite's composition: the seven
 // lexical/interprocedural checks of DESIGN.md "Concurrency & lifetime
-// invariants" plus the four flow-sensitive observability analyzers
-// that enforce invariants 8–9 (spanpair, clockflow, counterkey,
-// outputpurity).
-func TestSuiteHasElevenAnalyzers(t *testing.T) {
+// invariants", the four flow-sensitive observability analyzers that
+// enforce invariants 8–9 (spanpair, clockflow, counterkey,
+// outputpurity), and the two allocation-discipline analyzers that
+// enforce invariant 10 (hotalloc, poolsafe).
+func TestSuiteHasThirteenAnalyzers(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range suite.Analyzers() {
 		names[a.Name] = true
@@ -22,13 +23,14 @@ func TestSuiteHasElevenAnalyzers(t *testing.T) {
 		"lockhold", "lockorder",
 		"buflifecycle", "bufescape",
 		"spanpair", "clockflow", "counterkey", "outputpurity",
+		"hotalloc", "poolsafe",
 	} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
 	}
-	if len(names) != 11 {
-		t.Errorf("suite has %d analyzers, want 11", len(names))
+	if len(names) != 13 {
+		t.Errorf("suite has %d analyzers, want 13", len(names))
 	}
 }
 

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+
+	"gflink/internal/core"
+	"gflink/internal/costmodel"
+	"gflink/internal/gpu"
+	"gflink/internal/membuf"
+	"gflink/internal/obs"
+	"gflink/internal/vclock"
+)
+
+// allocBudget is the pinned per-GWork heap-allocation ceiling of the
+// submit/exec/complete hot path with tracing off. The pre-optimization
+// baseline was 85 allocs per GWork; the pooled fast path measures ~5
+// (per-op stream-command closures plus runtime noise), and the hotalloc
+// analyzer keeps new allocations off the annotated path. The ceiling
+// leaves headroom for allocator/runtime jitter while still failing long
+// before the old behaviour could return.
+const allocBudget = 17.0
+
+func init() {
+	// The kernel mirrors core's test double kernel: 1 flop and 8 bytes
+	// per element, enough to exercise the full three-stage pipeline.
+	gpu.Register("hotalloc.double", func(ctx *gpu.KernelCtx) error {
+		in, out := ctx.In[0].Bytes(), ctx.Out[0].Bytes()
+		for i := 0; i < ctx.N; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(in[i*4:]))
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(2*v))
+		}
+		ctx.Charge(costmodel.Work{Flops: float64(ctx.Nominal), BytesRead: 4 * float64(ctx.Nominal), BytesWritten: 4 * float64(ctx.Nominal)})
+		return nil
+	})
+
+	register(&Experiment{
+		ID:    "hotalloc-bench",
+		Title: "Allocation budget of the GWork hot path (100k-work sweep, tracing off)",
+		Paper: "steady-state GWork execution is allocation-free on the annotated hot path (DESIGN.md invariant 10)",
+		Run: func(scale int64) *Table {
+			t := &Table{
+				ID:     "hotalloc-bench",
+				Title:  "Per-GWork heap allocations on the submit/exec/complete path",
+				Paper:  "the pooled fast path recycles shells, events, parks and device buffers",
+				Header: []string{"gworks", "allocs/gwork", "bytes/gwork"},
+			}
+			if scale < 1 {
+				scale = 1
+			}
+			works := int(100_000 / scale)
+			if works < 1_000 {
+				works = 1_000
+			}
+			const warmup = 256
+			const n = 64
+
+			clock := vclock.New()
+			model := costmodel.Default()
+			wrapper := core.NewCUDAWrapper(clock, model)
+			dev := gpu.NewDevice(clock, 0, 0, costmodel.C2050, model.PCIe)
+			mem := core.NewGMemoryManager(dev, wrapper, costmodel.C2050.MemBytes*6/10, core.EvictFIFO)
+			mgr := core.NewStreamManager(core.StreamConfig{
+				Clock:    clock,
+				Wrapper:  wrapper,
+				Memories: []*core.GMemoryManager{mem},
+				Metrics:  obs.NewRegistry(),
+			})
+			pool := membuf.NewPool(clock, model, membuf.Config{})
+
+			var kerr error
+			var before, after runtime.MemStats
+			clock.Run(func() {
+				in := pool.MustAllocate(4 * n)
+				out := pool.MustAllocate(4 * n)
+				for i := 0; i < n; i++ {
+					binary.LittleEndian.PutUint32(in.Bytes()[i*4:], math.Float32bits(float32(i)))
+				}
+				wp := mgr.Pool()
+				one := func() {
+					w := wp.Get()
+					w.ExecuteName = "hotalloc.double"
+					w.Size = n
+					w.Nominal = n
+					w.BlockSize = 256
+					w.GridSize = 1
+					w.In = append(w.In, core.Input{Buf: in, Nominal: 4 * n})
+					w.Out = out
+					w.OutNominal = 4 * n
+					mgr.Submit(w)
+					if err := w.Wait(); err != nil && kerr == nil {
+						kerr = err
+					}
+					wp.Put(w)
+				}
+				// Warm the free lists (pool shells, vclock parks, device
+				// buffers) so the measured window is the steady state.
+				for i := 0; i < warmup && kerr == nil; i++ {
+					one()
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				for i := 0; i < works && kerr == nil; i++ {
+					one()
+				}
+				runtime.ReadMemStats(&after)
+				mgr.Close()
+				dev.Close()
+			})
+			if kerr != nil {
+				panic(fmt.Sprintf("bench: hotalloc-bench GWork failed: %v", kerr))
+			}
+
+			perWork := float64(after.Mallocs-before.Mallocs) / float64(works)
+			bytesPerWork := float64(after.TotalAlloc-before.TotalAlloc) / float64(works)
+			t.AddRow(fmt.Sprint(works), fmt.Sprintf("%.2f", perWork), fmt.Sprintf("%.0f", bytesPerWork))
+			t.Note("allocs/gwork = %.2f (pinned ceiling %.0f; pre-optimization baseline 85)", perWork, allocBudget)
+			return t
+		},
+		Check: func(t *Table) error {
+			if len(t.Notes) == 0 {
+				return fmt.Errorf("hotalloc-bench: missing allocs/gwork note")
+			}
+			var perWork, ceiling float64
+			if _, err := fmt.Sscanf(t.Notes[len(t.Notes)-1], "allocs/gwork = %f (pinned ceiling %f", &perWork, &ceiling); err != nil {
+				return fmt.Errorf("hotalloc-bench: unparsable note %q: %w", t.Notes[len(t.Notes)-1], err)
+			}
+			if perWork > allocBudget {
+				return fmt.Errorf("hotalloc-bench: %.2f allocs per GWork exceeds the pinned ceiling %.0f — something re-grew the hot path", perWork, allocBudget)
+			}
+			return nil
+		},
+	})
+}

@@ -200,6 +200,8 @@ func GPUMapPartition(g *GFlink, ds GDST, spec GPUMapSpec) GDST {
 		}
 		works := make([]*GWork, len(blocks))
 		outs := make([]*Block, len(blocks))
+		wp := mgr.Streams.Pool()
+		ptx := spec.Kernel + ".ptx"
 		var outNominalTotal int64
 		for i, b := range blocks {
 			on := outElems(b.N)
@@ -222,19 +224,20 @@ func GPUMapPartition(g *GFlink, ds GDST, spec GPUMapSpec) GDST {
 				Partition: b.Partition,
 				Index:     b.Index,
 			}
-			w := &GWork{
-				PtxPath:     spec.Kernel + ".ptx",
-				ExecuteName: spec.Kernel,
-				Size:        b.N,
-				Nominal:     b.Nominal,
-				BlockSize:   spec.BlockSize,
-				GridSize:    (b.N + spec.BlockSize - 1) / spec.BlockSize,
-				Out:         outBuf,
-				OutNominal:  outNominal * int64(outPerElem),
-				Args:        spec.Args,
-				Coalesce:    coalesce,
-				JobID:       jobID,
-			}
+			// Pooled shell: the producer recycles GWork allocations across
+			// blocks (and partitions) instead of allocating one per block.
+			w := wp.Get()
+			w.PtxPath = ptx
+			w.ExecuteName = spec.Kernel
+			w.Size = b.N
+			w.Nominal = b.Nominal
+			w.BlockSize = spec.BlockSize
+			w.GridSize = (b.N + spec.BlockSize - 1) / spec.BlockSize
+			w.Out = outBuf
+			w.OutNominal = outNominal * int64(outPerElem)
+			w.Args = spec.Args
+			w.Coalesce = coalesce
+			w.JobID = jobID
 			if spec.KernelPerRec != (costmodel.Work{}) {
 				w.KernelWork = spec.KernelPerRec.Scale(float64(b.Nominal))
 			}
@@ -254,6 +257,8 @@ func GPUMapPartition(g *GFlink, ds GDST, spec GPUMapSpec) GDST {
 			if err := w.Wait(); err != nil {
 				panic(fmt.Sprintf("core: GWork %s on block %d failed: %v", spec.Kernel, i, err))
 			}
+			wp.Put(w)
+			works[i] = nil
 		}
 		for _, ob := range outs {
 			outNominalTotal += ob.Nominal

@@ -48,6 +48,12 @@ type Device struct {
 	nextBuf   int64
 	streams   []*Stream
 	closed    bool
+	// freeBufs recycles Buffer shells (and their real backing arrays)
+	// across Malloc/Free cycles, so the per-GWork transient allocations
+	// of the three-stage pipeline are allocation-free at steady state.
+	// Capacity accounting above is untouched: a recycled buffer was
+	// subtracted from usedBytes at Free and re-added at Malloc.
+	freeBufs []*Buffer
 
 	// Counters for tests and EXPERIMENTS.md.
 	kernels   int64
@@ -98,26 +104,56 @@ func (b *Buffer) Bytes() []byte { return b.data }
 func (b *Buffer) Device() *Device { return b.dev }
 
 // Malloc allocates nominal bytes of device memory backed by real bytes
-// of host storage. It fails when device memory is exhausted.
+// of host storage. It fails when device memory is exhausted. Buffer
+// shells and backing arrays are recycled from freed buffers, so a
+// steady-state Malloc/Free cycle does not touch the host heap.
+//
+//gflink:hotpath
 func (d *Device) Malloc(nominal int64, real int) (*Buffer, error) {
 	if nominal <= 0 || real < 0 {
+		//gflink:allow-alloc error diagnostic: invalid-argument cold path
 		return nil, fmt.Errorf("gpu: malloc nominal=%d real=%d", nominal, real)
 	}
 	d.mu.Lock()
 	if d.usedBytes+nominal > d.Profile.MemBytes {
 		free := d.Profile.MemBytes - d.usedBytes
 		d.mu.Unlock()
+		//gflink:allow-alloc error diagnostic: out-of-memory cold path
 		return nil, fmt.Errorf("gpu%d: out of device memory: need %d, free %d", d.ID, nominal, free)
 	}
 	d.usedBytes += nominal
 	d.nextBuf++
 	id := d.nextBuf
+	var b *Buffer
+	if n := len(d.freeBufs); n > 0 {
+		b = d.freeBufs[n-1]
+		d.freeBufs[n-1] = nil
+		d.freeBufs = d.freeBufs[:n-1]
+	}
 	d.mu.Unlock()
 	d.clock.Sleep(MallocOverhead)
-	return &Buffer{dev: d, id: id, nominal: nominal, data: make([]byte, real)}, nil
+	if b == nil {
+		//gflink:allow-alloc cold start: the device buffer free list amortizes this away
+		b = &Buffer{}
+	}
+	if cap(b.data) < real {
+		//gflink:allow-alloc backing growth to the largest transfer seen on this device
+		b.data = make([]byte, real)
+	} else {
+		// Reuse the recycled backing, zeroed to match a fresh cudaMalloc'd
+		// mirror exactly (results must be byte-identical to the
+		// allocate-fresh path).
+		b.data = b.data[:real]
+		clear(b.data)
+	}
+	b.dev, b.id, b.nominal, b.freed = d, id, nominal, false
+	return b, nil
 }
 
-// Free releases the buffer. Double frees panic.
+// Free releases the buffer into the device's recycle list. Double frees
+// panic.
+//
+//gflink:hotpath
 func (d *Device) Free(b *Buffer) {
 	if b.dev != d {
 		panic("gpu: Free on wrong device")
@@ -128,8 +164,9 @@ func (d *Device) Free(b *Buffer) {
 	b.freed = true
 	d.mu.Lock()
 	d.usedBytes -= b.nominal
+	//gflink:allow-alloc amortized growth of the device buffer free list
+	d.freeBufs = append(d.freeBufs, b)
 	d.mu.Unlock()
-	b.data = nil
 }
 
 // UsedBytes reports allocated nominal device memory.
@@ -248,14 +285,19 @@ func RegisteredKernels() []string {
 // process: it waits for the device's compute engine, really runs the
 // kernel function, and charges the reported cost. It returns the
 // virtual duration of the kernel (excluding queueing).
+//
+//gflink:hotpath
 func (d *Device) Launch(name string, ctx *KernelCtx) (time.Duration, error) {
 	fn, ok := Lookup(name)
 	if !ok {
+		//gflink:allow-alloc error diagnostic: unregistered-kernel cold path
 		return 0, fmt.Errorf("gpu: kernel %q not registered", name)
 	}
 	d.compute.Acquire(1)
 	defer d.compute.Release(1)
+	//gflink:allow-alloc kernel bodies are user code; the launch machinery itself is allocation-free
 	if err := fn(ctx); err != nil {
+		//gflink:allow-alloc error diagnostic: kernel-failure cold path
 		return 0, fmt.Errorf("gpu: kernel %q: %w", name, err)
 	}
 	coalesce := ctx.coalesce

@@ -19,6 +19,12 @@ type Stream struct {
 	cpu  costmodel.CPU
 	q    *vclock.Queue[func()]
 	done *vclock.Event
+	// syncEv/syncSet are the reusable Synchronize rendezvous: one event,
+	// reset per call, plus its prebuilt Set closure, so synchronizing a
+	// stream allocates nothing. Safe because a stream has one
+	// synchronizer at a time (its owning stream worker).
+	syncEv  *vclock.Event
+	syncSet func()
 }
 
 // NewStream creates a stream and starts its executor process. Streams
@@ -37,6 +43,8 @@ func (d *Device) NewStream(cpu costmodel.CPU) *Stream {
 		q:    vclock.NewQueue[func()](d.clock),
 		done: vclock.NewEvent(d.clock),
 	}
+	s.syncEv = vclock.NewEvent(d.clock)
+	s.syncSet = s.syncEv.Set
 	d.streams = append(d.streams, s)
 	d.mu.Unlock()
 	d.clock.Go(fmt.Sprintf("gpu%d-stream%d", d.ID, s.id), s.run)
@@ -66,10 +74,13 @@ func (s *Stream) Device() *Device { return s.dev }
 // cudaMemcpyH2DAsync, the host buffer must be page-locked; enqueuing an
 // unpinned buffer panics, surfacing the programming error the paper's
 // cudaHostRegister step exists to prevent.
+//
+//gflink:hotpath
 func (s *Stream) H2DAsync(dst *Buffer, src *membuf.HBuffer, nominal int64) {
 	if !src.Pinned() {
 		panic("gpu: H2DAsync requires a page-locked host buffer")
 	}
+	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
 	s.q.Put(func() {
 		s.dev.h2d.Acquire(1)
 		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
@@ -110,10 +121,13 @@ func clampCopy(dst, src []byte, r CopyRange) {
 // bytes of PCIe time — the projected-column transfer of the paper's
 // transfer channel. A nil ranges slice copies everything, which makes a
 // zero-range call a pure timing charge (used by chunk shadows).
+//
+//gflink:hotpath
 func (s *Stream) H2DRangesAsync(dst *Buffer, src *membuf.HBuffer, ranges []CopyRange, nominal int64) {
 	if !src.Pinned() {
 		panic("gpu: H2DRangesAsync requires a page-locked host buffer")
 	}
+	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
 	s.q.Put(func() {
 		s.dev.h2d.Acquire(1)
 		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
@@ -134,6 +148,7 @@ func (s *Stream) D2HRangesAsync(dst *membuf.HBuffer, src *Buffer, ranges []CopyR
 	if !dst.Pinned() {
 		panic("gpu: D2HRangesAsync requires a page-locked host buffer")
 	}
+	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
 	s.q.Put(func() {
 		s.dev.d2h.Acquire(1)
 		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
@@ -151,10 +166,13 @@ func (s *Stream) D2HRangesAsync(dst *membuf.HBuffer, src *Buffer, ranges []CopyR
 
 // D2HAsync enqueues an asynchronous device-to-host copy into a
 // page-locked buffer.
+//
+//gflink:hotpath
 func (s *Stream) D2HAsync(dst *membuf.HBuffer, src *Buffer, nominal int64) {
 	if !dst.Pinned() {
 		panic("gpu: D2HAsync requires a page-locked host buffer")
 	}
+	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
 	s.q.Put(func() {
 		s.dev.d2h.Acquire(1)
 		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
@@ -166,8 +184,12 @@ func (s *Stream) D2HAsync(dst *membuf.HBuffer, src *Buffer, nominal int64) {
 
 // LaunchAsync enqueues a kernel launch. Errors surface through the
 // returned future.
+//
+//gflink:hotpath
 func (s *Stream) LaunchAsync(name string, ctx *KernelCtx) *Future {
+	//gflink:allow-alloc per-launch future and completion event, bounded by stream queue depth
 	f := &Future{ev: vclock.NewEvent(s.dev.clock)}
+	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
 	s.q.Put(func() {
 		f.dur, f.err = s.dev.Launch(name, ctx)
 		f.ev.Set()
@@ -201,16 +223,22 @@ func (s *Stream) LaunchChunkAsync(name string, ctx *KernelCtx, k, chunks int, af
 func (f *Future) Done() *vclock.Event { return f.ev }
 
 // Callback enqueues fn to run in stream order (cudaStreamAddCallback).
+//
+//gflink:hotpath
 func (s *Stream) Callback(fn func()) {
 	s.q.Put(fn)
 }
 
 // Synchronize blocks the calling process until every previously
-// enqueued command has completed (cudaStreamSynchronize).
+// enqueued command has completed (cudaStreamSynchronize). It reuses the
+// stream's rendezvous event, so it allocates nothing; a stream supports
+// one synchronizer at a time (its owning stream worker).
+//
+//gflink:hotpath
 func (s *Stream) Synchronize() {
-	ev := vclock.NewEvent(s.dev.clock)
-	s.q.Put(ev.Set)
-	ev.Wait()
+	s.syncEv.Reset()
+	s.q.Put(s.syncSet)
+	s.syncEv.Wait()
 }
 
 // Future is the completion handle of an asynchronous launch.

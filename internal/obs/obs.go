@@ -70,17 +70,39 @@ func NewTracer() *Tracer { return &Tracer{} }
 
 // Record appends one completed span. start and end must come from the
 // virtual clock (or be derived from virtual-clock readings).
+//
+// Record is on the GWork hot path (a nil tracer returns before touching
+// anything); with tracing on, span storage grows amortized — use
+// Reserve to preallocate it when the span count is known up front.
+//
+//gflink:hotpath
 func (t *Tracer) Record(track, cat, name string, start, end time.Duration, attrs ...Attr) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	//gflink:allow-alloc amortized span-storage growth; Reserve preallocates it
 	t.spans = append(t.spans, Span{
 		Track: track, Cat: cat, Name: name,
 		Start: start, End: end, Attrs: attrs, Seq: t.seq,
 	})
 	t.seq++
+}
+
+// Reserve grows the span storage to hold at least n more spans without
+// reallocating, so a tracing run of known size records allocation-free.
+func (t *Tracer) Reserve(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if free := cap(t.spans) - len(t.spans); free < n {
+		grown := make([]Span, len(t.spans), len(t.spans)+n)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
 }
 
 // Len reports the number of recorded spans.
@@ -231,16 +253,21 @@ type Registry struct {
 func NewRegistry() *Registry { return &Registry{counters: make(map[string]int64)} }
 
 // Add increments the named counter by delta.
+//
+//gflink:hotpath
 func (r *Registry) Add(name string, delta int64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//gflink:allow-alloc bounded counter set; steady-state writes hit existing buckets
 	r.counters[name] += delta
 }
 
 // Get returns the named counter's value (0 when never incremented).
+//
+//gflink:hotpath
 func (r *Registry) Get(name string) int64 {
 	if r == nil {
 		return 0

@@ -4,11 +4,13 @@ import (
 	"time"
 )
 
-// waiter is a parked process waiting on a primitive. Wakeups close ch.
+// waiter is a parked process waiting on a primitive. Wakeups send one
+// value into ch (buffered, capacity 1), so a woken waiter's channel is
+// empty again and the waiter can be recycled through the clock's free
+// list once its process resumes.
 type waiter struct {
-	ch  chan struct{}
-	n   int64 // semaphore units requested
-	seq uint64
+	ch chan struct{}
+	n  int64 // semaphore units requested
 }
 
 // Queue is an unbounded FIFO channel between processes. Get blocks on an
@@ -16,8 +18,8 @@ type waiter struct {
 // once drained. The zero value is not usable; use NewQueue.
 type Queue[T any] struct {
 	c       *Clock
-	items   []T
-	waiters []*waiter
+	items   FIFO[T]
+	waiters FIFO[*waiter]
 	closed  bool
 }
 
@@ -27,13 +29,15 @@ func NewQueue[T any](c *Clock) *Queue[T] {
 }
 
 // Put appends v and wakes one waiting Get, if any.
+//
+//gflink:hotpath
 func (q *Queue[T]) Put(v T) {
 	q.c.mu.Lock()
 	defer q.c.mu.Unlock()
 	if q.closed {
 		panic("vclock: Put on closed Queue")
 	}
-	q.items = append(q.items, v)
+	q.items.Push(v)
 	q.wakeOneLocked()
 }
 
@@ -43,23 +47,23 @@ func (q *Queue[T]) Close() {
 	q.c.mu.Lock()
 	defer q.c.mu.Unlock()
 	q.closed = true
-	for _, w := range q.waiters {
+	for {
+		w, ok := q.waiters.Pop()
+		if !ok {
+			break
+		}
 		q.c.ready("queue", w.ch)
 	}
-	q.waiters = nil
 }
 
 // Get removes and returns the oldest item, blocking while the queue is
 // open and empty. ok is false if the queue is closed and drained.
+//
+//gflink:hotpath
 func (q *Queue[T]) Get() (v T, ok bool) {
+	q.c.mu.Lock()
 	for {
-		q.c.mu.Lock()
-		if len(q.items) > 0 {
-			v = q.items[0]
-			// Avoid retaining the popped element.
-			var zero T
-			q.items[0] = zero
-			q.items = q.items[1:]
+		if v, ok = q.items.Pop(); ok {
 			q.c.mu.Unlock()
 			return v, true
 		}
@@ -67,43 +71,41 @@ func (q *Queue[T]) Get() (v T, ok bool) {
 			q.c.mu.Unlock()
 			return v, false
 		}
-		w := &waiter{ch: make(chan struct{})}
-		q.waiters = append(q.waiters, w)
+		w := q.c.takeWaiterLocked(0)
+		q.waiters.Push(w)
 		q.c.block("queue")
 		q.c.mu.Unlock()
 		<-w.ch
+		// Woken by a one-shot send: w.ch is drained and w is out of the
+		// waiter queue, so the waiter can be recycled before re-checking.
+		q.c.mu.Lock()
+		q.c.putWaiterLocked(w)
 	}
 }
 
 // TryGet removes and returns the oldest item without blocking.
+//
+//gflink:hotpath
 func (q *Queue[T]) TryGet() (v T, ok bool) {
 	q.c.mu.Lock()
 	defer q.c.mu.Unlock()
-	if len(q.items) == 0 {
-		return v, false
-	}
-	v = q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop()
 }
 
 // Len reports the number of buffered items.
+//
+//gflink:hotpath
 func (q *Queue[T]) Len() int {
 	q.c.mu.Lock()
 	defer q.c.mu.Unlock()
-	return len(q.items)
+	return q.items.Len()
 }
 
+//gflink:hotpath
 func (q *Queue[T]) wakeOneLocked() {
-	if len(q.waiters) == 0 {
-		return
+	if w, ok := q.waiters.Pop(); ok {
+		q.c.ready("queue", w.ch)
 	}
-	w := q.waiters[0]
-	q.waiters[0] = nil
-	q.waiters = q.waiters[1:]
-	q.c.ready("queue", w.ch)
 }
 
 // Semaphore is a counting semaphore used to model contended hardware
@@ -112,9 +114,10 @@ func (q *Queue[T]) wakeOneLocked() {
 type Semaphore struct {
 	c       *Clock
 	name    string
+	reason  string // "sem:"+name, precomputed so parks don't concatenate
 	free    int64
 	cap     int64
-	waiters []*waiter
+	waiters FIFO[*waiter]
 }
 
 // NewSemaphore returns a semaphore with the given capacity.
@@ -122,49 +125,64 @@ func NewSemaphore(c *Clock, name string, capacity int64) *Semaphore {
 	if capacity <= 0 {
 		panic("vclock: semaphore capacity must be positive")
 	}
-	return &Semaphore{c: c, name: name, free: capacity, cap: capacity}
+	return &Semaphore{c: c, name: name, reason: "sem:" + name, free: capacity, cap: capacity}
 }
 
 // Acquire blocks until n units are available and takes them. n greater
 // than the capacity panics (it could never succeed).
+//
+//gflink:hotpath
 func (s *Semaphore) Acquire(n int64) {
 	if n > s.cap {
+		//gflink:allow-alloc panic diagnostic on an impossible acquire
 		panic("vclock: semaphore acquire exceeds capacity: " + s.name)
 	}
 	s.c.mu.Lock()
 	// FIFO: only take fast path if nobody is already queued.
-	if len(s.waiters) == 0 && s.free >= n {
+	if s.waiters.Len() == 0 && s.free >= n {
 		s.free -= n
 		s.c.mu.Unlock()
 		return
 	}
-	w := &waiter{ch: make(chan struct{}), n: n}
-	s.waiters = append(s.waiters, w)
-	s.c.block("sem:" + s.name)
+	w := s.c.takeWaiterLocked(n)
+	s.waiters.Push(w)
+	s.c.block(s.reason)
 	s.c.mu.Unlock()
 	<-w.ch
+	// Woken by a one-shot send: w.ch is drained and Release already
+	// removed w from the waiter queue, so the waiter can be recycled.
+	s.c.mu.Lock()
+	s.c.putWaiterLocked(w)
+	s.c.mu.Unlock()
 }
 
 // Release returns n units and wakes as many queued acquirers as now fit,
 // in FIFO order.
+//
+//gflink:hotpath
 func (s *Semaphore) Release(n int64) {
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
 	s.free += n
 	if s.free > s.cap {
+		//gflink:allow-alloc panic diagnostic on over-release
 		panic("vclock: semaphore over-release: " + s.name)
 	}
-	for len(s.waiters) > 0 && s.waiters[0].n <= s.free {
-		w := s.waiters[0]
-		s.waiters[0] = nil
-		s.waiters = s.waiters[1:]
+	for {
+		w, ok := s.waiters.Front()
+		if !ok || w.n > s.free {
+			return
+		}
+		s.waiters.Pop()
 		s.free -= w.n
-		s.c.ready("sem:"+s.name, w.ch)
+		s.c.ready(s.reason, w.ch)
 	}
 }
 
 // Free reports the available units (racy outside quiescence; intended
 // for scheduler heuristics and tests).
+//
+//gflink:hotpath
 func (s *Semaphore) Free() int64 {
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
@@ -179,11 +197,11 @@ func (s *Semaphore) Use(n int64, fn func()) {
 }
 
 // Event is a one-shot broadcast: Wait blocks until Set is called; after
-// Set, Wait returns immediately.
+// Set, Wait returns immediately. Reset rearms a set event for reuse.
 type Event struct {
 	c       *Clock
 	set     bool
-	waiters []*waiter
+	waiters FIFO[*waiter]
 }
 
 // NewEvent returns an unset event.
@@ -191,6 +209,8 @@ func NewEvent(c *Clock) *Event { return &Event{c: c} }
 
 // Set fires the event, waking all current and future waiters. Setting an
 // already-set event is a no-op.
+//
+//gflink:hotpath
 func (e *Event) Set() {
 	e.c.mu.Lock()
 	defer e.c.mu.Unlock()
@@ -198,31 +218,58 @@ func (e *Event) Set() {
 		return
 	}
 	e.set = true
-	for _, w := range e.waiters {
+	for {
+		w, ok := e.waiters.Pop()
+		if !ok {
+			break
+		}
 		e.c.ready("event", w.ch)
 	}
-	e.waiters = nil
 }
 
 // Wait blocks until the event is set.
+//
+//gflink:hotpath
 func (e *Event) Wait() {
 	e.c.mu.Lock()
 	if e.set {
 		e.c.mu.Unlock()
 		return
 	}
-	w := &waiter{ch: make(chan struct{})}
-	e.waiters = append(e.waiters, w)
+	w := e.c.takeWaiterLocked(0)
+	e.waiters.Push(w)
 	e.c.block("event")
 	e.c.mu.Unlock()
 	<-w.ch
+	// Woken by a one-shot send: w.ch is drained and Set already removed
+	// w from the waiter queue, so the waiter can be recycled.
+	e.c.mu.Lock()
+	e.c.putWaiterLocked(w)
+	e.c.mu.Unlock()
 }
 
 // IsSet reports whether the event fired.
+//
+//gflink:hotpath
 func (e *Event) IsSet() bool {
 	e.c.mu.Lock()
 	defer e.c.mu.Unlock()
 	return e.set
+}
+
+// Reset returns a fired event to the unset state so the same Event can
+// be reused (e.g., the completion event of a pooled GWork). Resetting
+// an event that still has blocked waiters panics: their wake-up would
+// otherwise be lost. Resetting an unset event is a no-op.
+//
+//gflink:hotpath
+func (e *Event) Reset() {
+	e.c.mu.Lock()
+	defer e.c.mu.Unlock()
+	if e.waiters.Len() > 0 {
+		panic("vclock: Event.Reset with blocked waiters")
+	}
+	e.set = false
 }
 
 // Group tracks a set of child processes and lets a parent wait for all

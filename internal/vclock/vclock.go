@@ -33,9 +33,9 @@ import (
 type Clock struct {
 	mu      sync.Mutex
 	now     time.Duration
-	running int             // processes currently executing: 0 or 1 once Run starts
-	total   int             // registered processes alive
-	runq    []chan struct{} // ready processes awaiting dispatch, in wake order
+	running int                 // processes currently executing: 0 or 1 once Run starts
+	total   int                 // registered processes alive
+	runq    FIFO[chan struct{}] // ready processes awaiting dispatch, in wake order
 	timers  timerHeap
 	seq     uint64 // tie-break for identical deadlines; preserves FIFO order
 	started bool   // set by Run; no advancement/deadlock checks before it
@@ -45,6 +45,13 @@ type Clock struct {
 	// re-raise it on the caller's goroutine.
 	panicked any
 	hasPanic bool
+	// Free lists recycling park machinery across blocks: wake-ups are
+	// one-shot sends into each waiter/timer's buffered channel, so the
+	// channel is empty — and reusable — the moment its parked process
+	// resumes. This keeps the park/wake cycle in Sleep and the
+	// primitives allocation-free at steady state (invariant 10).
+	freeWaiters []*waiter
+	freeTimers  []*timer
 }
 
 // New returns a Clock positioned at virtual time zero.
@@ -57,6 +64,8 @@ func New() *Clock {
 
 // Now reports the current virtual time as a duration since the start of
 // the simulation.
+//
+//gflink:hotpath
 func (c *Clock) Now() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -69,10 +78,10 @@ func (c *Clock) Now() time.Duration {
 // and is dispatched when the current process blocks or exits, so spawn
 // order — not host scheduling — decides execution order.
 func (c *Clock) Go(name string, fn func()) {
-	ch := make(chan struct{})
+	ch := make(chan struct{}, 1)
 	c.mu.Lock()
 	c.total++
-	c.runq = append(c.runq, ch)
+	c.runq.Push(ch)
 	c.mu.Unlock()
 	// The vclock runtime is the one place real goroutines are created:
 	// every simulated process is backed by exactly one, registered with
@@ -142,25 +151,89 @@ func (c *Clock) exit() {
 // zero durations yield without advancing time... actually a zero sleep
 // still round-trips through the timer heap so that co-scheduled wakeups
 // at the same instant occur in FIFO order.
+//
+//gflink:hotpath
 func (c *Clock) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{})
 	c.mu.Lock()
-	c.seq++
-	heap.Push(&c.timers, &timer{deadline: c.now + d, seq: c.seq, ch: ch})
+	t := c.takeTimerLocked(c.now + d)
+	heap.Push(&c.timers, t)
 	c.block("sleep")
 	c.mu.Unlock()
-	<-ch
+	<-t.ch
+	// Woken by a one-shot send: t.ch is drained and t is off the heap, so
+	// the timer can be recycled. The extra lock round-trip changes no
+	// scheduling decision — this process already holds the execution slot.
+	c.mu.Lock()
+	c.putTimerLocked(t)
+	c.mu.Unlock()
+}
+
+// takeTimerLocked returns a recycled (or new) timer armed for deadline,
+// with the global wake sequence already assigned. Callers must hold
+// c.mu.
+//
+//gflink:hotpath
+func (c *Clock) takeTimerLocked(deadline time.Duration) *timer {
+	c.seq++
+	if n := len(c.freeTimers); n > 0 {
+		t := c.freeTimers[n-1]
+		c.freeTimers[n-1] = nil
+		c.freeTimers = c.freeTimers[:n-1]
+		t.deadline = deadline
+		t.seq = c.seq
+		return t
+	}
+	//gflink:allow-alloc cold start: the free list amortizes this away at steady state
+	return &timer{deadline: deadline, seq: c.seq, ch: make(chan struct{}, 1)}
+}
+
+// putTimerLocked recycles a fired, drained timer. Callers must hold
+// c.mu.
+//
+//gflink:hotpath
+func (c *Clock) putTimerLocked(t *timer) {
+	//gflink:allow-alloc amortized growth of the timer free list
+	c.freeTimers = append(c.freeTimers, t)
+}
+
+// takeWaiterLocked returns a recycled (or new) waiter with an empty
+// wake channel and n set. Callers must hold c.mu.
+//
+//gflink:hotpath
+func (c *Clock) takeWaiterLocked(n int64) *waiter {
+	if l := len(c.freeWaiters); l > 0 {
+		w := c.freeWaiters[l-1]
+		c.freeWaiters[l-1] = nil
+		c.freeWaiters = c.freeWaiters[:l-1]
+		w.n = n
+		return w
+	}
+	//gflink:allow-alloc cold start: the free list amortizes this away at steady state
+	return &waiter{ch: make(chan struct{}, 1), n: n}
+}
+
+// putWaiterLocked recycles a woken, drained waiter. Callers must hold
+// c.mu.
+//
+//gflink:hotpath
+func (c *Clock) putWaiterLocked(w *waiter) {
+	w.n = 0
+	//gflink:allow-alloc amortized growth of the waiter free list
+	c.freeWaiters = append(c.freeWaiters, w)
 }
 
 // block marks the calling process blocked for the given reason and
 // hands the execution slot to the next ready process (advancing the
 // clock if none is ready). Callers must hold c.mu and, after releasing
-// it, must park on the channel their wake-up will close.
+// it, must park on the channel their wake-up will send into.
+//
+//gflink:hotpath
 func (c *Clock) block(reason string) {
 	c.running--
+	//gflink:allow-alloc bounded census map; steady-state writes hit existing buckets
 	c.blocked[reason]++
 	c.dispatchLocked()
 }
@@ -170,44 +243,36 @@ func (c *Clock) block(reason string) {
 // waker keeps the execution slot until it blocks or exits, and queued
 // wake order is what makes contended admissions deterministic. Callers
 // must hold c.mu.
+//
+//gflink:hotpath
 func (c *Clock) ready(reason string, ch chan struct{}) {
+	//gflink:allow-alloc bounded census map; steady-state writes hit existing buckets
 	c.blocked[reason]--
 	if c.blocked[reason] == 0 {
 		delete(c.blocked, reason)
 	}
-	c.runq = append(c.runq, ch)
+	c.runq.Push(ch)
 }
 
 // dispatchLocked hands the execution slot to the next ready process, or
-// — when none is ready — fires the earliest pending timer. Callers must
-// hold c.mu.
+// — when none is ready — fires the earliest pending timer. Wake-ups are
+// one-shot sends into each process's buffered channel, so channels are
+// drained — and recyclable — the moment the woken process resumes.
+// Callers must hold c.mu.
+//
+//gflink:hotpath
 func (c *Clock) dispatchLocked() {
 	if !c.started || c.running > 0 || c.total == 0 {
 		return
 	}
-	if len(c.runq) > 0 {
-		ch := c.runq[0]
-		c.runq[0] = nil
-		c.runq = c.runq[1:]
+	if ch, ok := c.runq.Pop(); ok {
 		c.running++
-		close(ch)
+		ch <- struct{}{}
 		return
 	}
 	if len(c.timers) == 0 {
-		// Either a process died by panic (simulation already compromised)
-		// or this is a genuine deadlock. Surface the error from Run on the
-		// caller's goroutine: panicking here would unwind with c.mu held
-		// and wedge the recover path. Parked processes are leaked; this is
-		// a diagnostic path that ends the simulation.
-		if !c.hasPanic {
-			c.hasPanic = true
-			c.panicked = fmt.Errorf("vclock: deadlock: all processes blocked with no pending timer\n%s", c.diagnosticLocked())
-		}
-		select {
-		case <-c.done:
-		default:
-			close(c.done)
-		}
+		//gflink:allow-alloc deadlock diagnostics: cold path that ends the simulation
+		c.deadlockLocked()
 		return
 	}
 	// Fire the earliest timer (FIFO by seq at equal deadlines) and run
@@ -215,12 +280,31 @@ func (c *Clock) dispatchLocked() {
 	// process blocks again; virtual time holds still in between.
 	t := heap.Pop(&c.timers).(*timer)
 	c.now = t.deadline
+	//gflink:allow-alloc bounded census map; steady-state writes hit existing buckets
 	c.blocked["sleep"]--
 	if c.blocked["sleep"] == 0 {
 		delete(c.blocked, "sleep")
 	}
 	c.running++
-	close(t.ch)
+	t.ch <- struct{}{}
+}
+
+// deadlockLocked ends the simulation with a deadlock diagnostic. Either
+// a process died by panic (simulation already compromised) or this is a
+// genuine deadlock. The error surfaces from Run on the caller's
+// goroutine: panicking here would unwind with c.mu held and wedge the
+// recover path. Parked processes are leaked; this path ends the
+// simulation.
+func (c *Clock) deadlockLocked() {
+	if !c.hasPanic {
+		c.hasPanic = true
+		c.panicked = fmt.Errorf("vclock: deadlock: all processes blocked with no pending timer\n%s", c.diagnosticLocked())
+	}
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
 }
 
 // diagnosticLocked renders the blocked-process census for deadlock
