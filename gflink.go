@@ -56,6 +56,11 @@ type (
 	Input = core.Input
 	// CacheKey identifies a cached block on a device.
 	CacheKey = core.CacheKey
+	// CachePolicy selects a cache region's eviction scheme.
+	CachePolicy = core.CachePolicy
+	// EvictionPolicy is the pluggable eviction interface the cache
+	// regions order victims with (DESIGN.md "Tiered memory").
+	EvictionPolicy = core.EvictionPolicy
 	// Block is a page of GStruct records in off-heap memory.
 	Block = core.Block
 	// GDST is a distributed dataset of blocks.
@@ -134,6 +139,18 @@ const (
 	AutoPlace = plan.Auto
 	ForceCPU  = plan.ForceCPU
 	ForceGPU  = plan.ForceGPU
+)
+
+// Cache-eviction policies for the per-job GPU cache region
+// (Config.CachePolicy). FIFO and stop-when-full are the paper's two
+// schemes (Section 4.2.2); LRU and cost-aware belong to the tiered
+// memory subsystem, which can also back evictions with a host paging
+// tier and spill disk (Config.HostTierBytes, Config.SpillDisk).
+const (
+	EvictFIFO      = core.EvictFIFO
+	StopWhenFull   = core.StopWhenFull
+	EvictLRU       = core.EvictLRU
+	EvictCostAware = core.EvictCostAware
 )
 
 // Observability: spans, metrics and trace export. Every deployment

@@ -9,6 +9,7 @@
 //	cache.{hits|misses|inserts|rejects|stop|evictions}[.gpu<N>]
 //	sched.{direct|pooled|steals}[.w<N>]
 //	xfer.{h2d|d2h}.bytes.gpu<N>
+//	mem.{demotions|promotions|spills|reloads}[.gpu<N>]
 //
 // A key expression is evaluated symbolically into a pattern: string
 // constants and constant-format fmt.Sprintf calls contribute literal
@@ -74,6 +75,7 @@ var grammar = map[string][]func(string) bool{
 	"cache": {oneOf("hits", "misses", "inserts", "rejects", "stop", "evictions"), numbered("gpu")},
 	"sched": {oneOf("direct", "pooled", "steals"), numbered("w")},
 	"xfer":  {oneOf("h2d", "d2h"), oneOf("bytes"), numbered("gpu")},
+	"mem":   {oneOf("demotions", "promotions", "spills", "reloads"), numbered("gpu")},
 }
 
 func oneOf(names ...string) func(string) bool {
@@ -401,7 +403,7 @@ func (st *state) check(sc *fnScope, parts []part) string {
 
 func badKey(pattern string) string {
 	display := strings.ReplaceAll(pattern, wildcard, "*")
-	return "counter name \"" + display + "\" does not match the metrics grammar (cache.*, sched.*, xfer.*); see DESIGN.md invariant 8"
+	return "counter name \"" + display + "\" does not match the metrics grammar (cache.*, sched.*, xfer.*, mem.*); see DESIGN.md invariant 8"
 }
 
 // rootParam reports whether an expression is (transitively) a read of

@@ -17,6 +17,10 @@ func good(r *obs.Registry) {
 	r.Add(fmt.Sprintf("xfer.h2d.bytes.gpu%d", 2), 64)
 	r.Add("cache.evictions.gpu11", 1)
 	r.Add("sched.direct", 1) // prefix of a valid key is valid
+	r.Add("mem.demotions.gpu0", 1)
+	r.Add("mem.spills", 1) // tier totals before the device suffix is appended
+	r.Add(fmt.Sprintf("mem.promotions.gpu%d", 1), 1)
+	r.Add("mem.reloads.gpu7", 1)
 }
 
 func typos(r *obs.Registry) {
@@ -25,6 +29,8 @@ func typos(r *obs.Registry) {
 	r.Add("queue.depth", 1)    // want `does not match the metrics grammar`
 	r.Add("sched.w3", 1)       // want `does not match the metrics grammar`
 	r.Add("cache.hits.cpu", 1) // want `does not match the metrics grammar`
+	r.Add("mem.evictions", 1)  // want `does not match the metrics grammar`
+	r.Add("mem.spills.w2", 1)  // want `does not match the metrics grammar`
 }
 
 func tooLong(r *obs.Registry) {

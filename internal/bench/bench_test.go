@@ -47,7 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig7d",
 		"fig8a", "fig8b", "fig8c", "fig8d", "table2",
 		"abl-layout", "abl-zerocopy", "abl-pipeline", "abl-locality", "abl-stealing", "abl-blocksize",
-		"abl-chaining", "abl-projection", "abl-chunking",
+		"abl-chaining", "abl-projection", "abl-chunking", "abl-oocore",
 		"hotalloc-bench",
 	}
 	for _, id := range want {
@@ -224,6 +224,50 @@ func TestTransferAblationChecks(t *testing.T) {
 		}
 		if err := e.Check(&Table{}); err == nil {
 			t.Errorf("%s check accepted an empty table", id)
+		}
+	}
+}
+
+func TestAblOocorePolicyGap(t *testing.T) {
+	tbl := runExp(t, "abl-oocore")
+	e, _ := ByID("abl-oocore")
+	if err := e.Check(tbl); err != nil {
+		t.Errorf("abl-oocore check rejected its own table: %v", err)
+	}
+	if err := e.Check(&Table{}); err == nil {
+		t.Error("abl-oocore check accepted an empty table")
+	}
+	regressed := &Table{
+		Rows: [][]string{{"kmeans", "2x"}},
+		Notes: []string{
+			"kmeans 2x: lru/fifo makespan = 1.0500x",
+			"mem.spills at 5x+: 12",
+		},
+	}
+	if err := e.Check(regressed); err == nil {
+		t.Error("abl-oocore check accepted LRU losing to FIFO at 2x")
+	}
+	noSpill := &Table{
+		Rows: [][]string{{"kmeans", "2x"}},
+		Notes: []string{
+			"kmeans 2x: lru/fifo makespan = 0.7000x",
+			"mem.spills at 5x+: 0",
+		},
+	}
+	if err := e.Check(noSpill); err == nil {
+		t.Error("abl-oocore check accepted zero spills at 5x+")
+	}
+	// The resident (1x) row must tie across policies: nothing is ever
+	// evicted, so the policy cannot matter.
+	for _, row := range tbl.Rows {
+		if row[1] != "1x" {
+			continue
+		}
+		for i := 3; i < len(row); i++ {
+			if row[i] != row[2] {
+				t.Errorf("%s 1x: policy column %d (%s) differs from fifo (%s) on a resident working set",
+					row[0], i, row[i], row[2])
+			}
 		}
 	}
 }

@@ -26,8 +26,17 @@ type Config struct {
 	// (the user-defined parameter of Section 4.2.2). 0 means 60% of
 	// device memory.
 	CacheBytesPerJob int64
-	// CachePolicy selects FIFO eviction (default) or StopWhenFull.
+	// CachePolicy selects FIFO eviction (default), StopWhenFull, or the
+	// tiered subsystem's EvictLRU / EvictCostAware.
 	CachePolicy CachePolicy
+	// HostTierBytes caps each device's host paging tier in nominal
+	// bytes. 0 disables the tier (paper mode): evicted cache entries are
+	// freed instead of demoted.
+	HostTierBytes int64
+	// SpillDisk overrides the simulated disk host pages spill to when
+	// the host tier overflows; the zero value selects
+	// costmodel.DefaultSpillDisk.
+	SpillDisk costmodel.Disk
 	// Scheduler selects Algorithm 5.1 (default) or the RoundRobin
 	// ablation.
 	Scheduler SchedulerPolicy
@@ -93,7 +102,7 @@ func New(cfg Config) *GFlink {
 			dev := gpu.NewDevice(cluster.Clock, devID, w, cfg.GPUProfile, cfg.Config.Model.PCIe)
 			devID++
 			mgr.Devices = append(mgr.Devices, dev)
-			mems = append(mems, NewGMemoryManager(dev, wrapper, cfg.CacheBytesPerJob, cfg.CachePolicy))
+			mems = append(mems, NewMemoryManager(dev, wrapper, cfg.CacheBytesPerJob, memOptions(cfg)...))
 		}
 		mgr.Streams = NewStreamManager(StreamConfig{
 			Clock:         cluster.Clock,
@@ -131,7 +140,7 @@ func NewHetero(cfg Config, profiles [][]costmodel.GPUProfile) *GFlink {
 			dev := gpu.NewDevice(cluster.Clock, devID, w, prof, cfg.Config.Model.PCIe)
 			devID++
 			mgr.Devices = append(mgr.Devices, dev)
-			mems = append(mems, NewGMemoryManager(dev, wrapper, cap, cfg.CachePolicy))
+			mems = append(mems, NewMemoryManager(dev, wrapper, cap, memOptions(cfg)...))
 		}
 		mgr.Streams = NewStreamManager(StreamConfig{
 			Clock:         cluster.Clock,
@@ -147,6 +156,19 @@ func NewHetero(cfg Config, profiles [][]costmodel.GPUProfile) *GFlink {
 		g.Managers = append(g.Managers, mgr)
 	}
 	return g
+}
+
+// memOptions translates the deployment config into memory-manager
+// options.
+func memOptions(cfg Config) []MemOption {
+	opts := []MemOption{WithPolicy(cfg.CachePolicy)}
+	if cfg.HostTierBytes > 0 {
+		opts = append(opts, WithHostTierBytes(cfg.HostTierBytes))
+	}
+	if cfg.SpillDisk != (costmodel.Disk{}) {
+		opts = append(opts, WithDiskBandwidth(cfg.SpillDisk))
+	}
+	return opts
 }
 
 // Manager returns worker w's GPUManager.

@@ -1,17 +1,20 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 	"sync"
 
+	"gflink/internal/costmodel"
 	"gflink/internal/gpu"
+	"gflink/internal/membuf"
 	"gflink/internal/obs"
+	"gflink/internal/vclock"
 )
 
 // CachePolicy selects the garbage-collection scheme of a cache region
-// (Section 4.2.2 describes both).
+// (Section 4.2.2 describes the first two; LRU and cost-aware belong to
+// the tiered-memory extension).
 type CachePolicy int
 
 const (
@@ -21,24 +24,42 @@ const (
 	// "useful when the data needed to be cached in the GPUs in one
 	// iteration is larger than that of the region".
 	StopWhenFull
+	// EvictLRU evicts the least-recently-used object; hits refresh an
+	// entry's position, so hot blocks survive cyclic capacity pressure.
+	EvictLRU
+	// EvictCostAware evicts the object with the lowest bytes-saved-per-
+	// reload-byte score (its hit count; see costPolicy).
+	EvictCostAware
 )
+
+// String names the policy as experiments and tables render it.
+func (p CachePolicy) String() string { return policyFor(p).Name() }
 
 // GMemoryManager owns one device's memory on behalf of GFlink
 // (Section 4.2): it allocates and releases buffers automatically around
 // each GWork and maintains the per-job cache regions — a hash table of
-// CacheKey to device buffer plus the FIFO list driving eviction.
+// CacheKey to device buffer plus the eviction list its EvictionPolicy
+// orders. With a host tier configured (WithHostTierBytes) it becomes
+// the top of a three-level hierarchy: victims demote to a membuf-backed
+// host page pool instead of being freed, pages spill onward to
+// simulated disk when the host tier overflows, and a later Acquire
+// promotes pages back at costmodel transfer cost instead of forcing the
+// caller to re-transfer or recompute.
 type GMemoryManager struct {
 	dev     *gpu.Device
 	wrapper *CUDAWrapper
-	policy  CachePolicy
+	clock   *vclock.Clock
+	model   costmodel.Model
+	// pol orders eviction; fifoPolicy unless an option overrides it.
+	pol EvictionPolicy
 	// regionCap is the per-job cache-region capacity in nominal bytes
 	// (the user-defined parameter of Section 4.2.2).
 	regionCap int64
-	// metrics receives the cache counters ("cache.<event>.gpu<ID>");
-	// nil until observe wires a registry. The counter names are
-	// precomputed per device so hot-path cache events don't concatenate
-	// strings (the counterkey analyzer validates them through field
-	// provenance).
+	// metrics receives the cache counters ("cache.<event>.gpu<ID>") and
+	// tier counters ("mem.<event>.gpu<ID>"); nil until observe wires a
+	// registry. The counter names are precomputed per device so hot-path
+	// cache events don't concatenate strings (the counterkey analyzer
+	// validates them through field provenance).
 	metrics       *obs.Registry
 	hitsName      string
 	missesName    string
@@ -47,51 +68,158 @@ type GMemoryManager struct {
 	stopName      string
 	evictionsName string
 
+	// Tier observability: demotion/promotion/spill/reload spans land on
+	// the per-device mem track; tracer is nil until observe wires one.
+	tracer         *obs.Tracer
+	memTrack       string
+	demotionsName  string
+	promotionsName string
+	spillsName     string
+	reloadsName    string
+
+	// hostTierBytes caps the host paging tier in nominal bytes; 0
+	// disables the tier entirely and victims are freed as before.
+	hostTierBytes int64
+	// spillDisk is the simulated device host pages spill to when the
+	// tier overflows.
+	spillDisk costmodel.Disk
+	// hostPool backs resident host pages with off-heap buffers. The
+	// tier's capacity is enforced in nominal bytes by hostUsed, so the
+	// pool itself is unbounded: it only holds the scaled-down real
+	// bytes.
+	hostPool *membuf.Pool
+
 	mu      sync.Mutex
 	regions map[int]*cacheRegion // by job ID
+	// freeEntries recycles cacheEntry shells (which double as eviction
+	// list nodes) so steady-state insert-after-evict allocates nothing.
+	freeEntries []*cacheEntry
+	// pending collects entries evicted under mu whose demotion (which
+	// charges simulated time and therefore must not run under the
+	// mutex) is still owed; takePendingLocked hands the batch to settle
+	// after the lock is released.
+	pending []*cacheEntry
+
+	// Host tier state (all guarded by mu). hostHead/hostTail order the
+	// resident pages oldest-first for spilling; spilled pages stay in
+	// hostPages but leave the resident list.
+	hostPages          map[CacheKey]*hostPage
+	hostHead, hostTail *hostPage
+	hostUsed           int64
+	freePages          []*hostPage
 }
 
 type cacheRegion struct {
 	capacity int64
 	used     int64
 	entries  map[CacheKey]*cacheEntry
-	fifo     *list.List // of CacheKey, oldest first
+	// head/tail anchor the intrusive eviction list the region's policy
+	// orders (oldest candidate first). Entries are their own nodes, so
+	// eviction bookkeeping rides the manager's shell free list.
+	head, tail *cacheEntry
 }
 
 type cacheEntry struct {
+	key     CacheKey
 	buf     *gpu.Buffer
 	nominal int64
-	refs    int // in-flight kernels using the entry; evictable at 0
-	elem    *list.Element
+	refs    int   // in-flight kernels using the entry; evictable at 0
+	touches int64 // hits since insertion (the cost-aware policy's signal)
+	prev    *cacheEntry
+	next    *cacheEntry
 }
 
-// NewGMemoryManager builds the manager for one device.
-func NewGMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, policy CachePolicy) *GMemoryManager {
+// MemOption configures optional behaviour of a memory manager.
+type MemOption func(*GMemoryManager)
+
+// WithPolicy selects a built-in eviction policy.
+func WithPolicy(p CachePolicy) MemOption {
+	return func(m *GMemoryManager) { m.pol = policyFor(p) }
+}
+
+// WithEvictionPolicy plugs a custom EvictionPolicy implementation.
+func WithEvictionPolicy(p EvictionPolicy) MemOption {
+	return func(m *GMemoryManager) { m.pol = p }
+}
+
+// WithHostTierBytes enables the host paging tier, capped at n nominal
+// bytes: evicted cache entries demote their bytes to host pages instead
+// of being freed, and Acquire promotes them back at H2D transfer cost.
+func WithHostTierBytes(n int64) MemOption {
+	return func(m *GMemoryManager) { m.hostTierBytes = n }
+}
+
+// WithDiskBandwidth sets the simulated disk host pages spill to when
+// the host tier overflows (default costmodel.DefaultSpillDisk).
+func WithDiskBandwidth(d costmodel.Disk) MemOption {
+	return func(m *GMemoryManager) { m.spillDisk = d }
+}
+
+// NewMemoryManager builds the manager for one device. Without options
+// it reproduces the paper's configuration: FIFO eviction, no host
+// tier.
+func NewMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, opts ...MemOption) *GMemoryManager {
 	suffix := fmt.Sprintf(".gpu%d", dev.ID)
-	return &GMemoryManager{
-		dev:           dev,
-		wrapper:       wrapper,
-		policy:        policy,
-		regionCap:     regionCap,
-		hitsName:      "cache.hits" + suffix,
-		missesName:    "cache.misses" + suffix,
-		insertsName:   "cache.inserts" + suffix,
-		rejectsName:   "cache.rejects" + suffix,
-		stopName:      "cache.stop" + suffix,
-		evictionsName: "cache.evictions" + suffix,
-		regions:       make(map[int]*cacheRegion),
+	m := &GMemoryManager{
+		dev:            dev,
+		wrapper:        wrapper,
+		clock:          wrapper.clock,
+		model:          wrapper.model,
+		pol:            fifoPolicy{},
+		regionCap:      regionCap,
+		hitsName:       "cache.hits" + suffix,
+		missesName:     "cache.misses" + suffix,
+		insertsName:    "cache.inserts" + suffix,
+		rejectsName:    "cache.rejects" + suffix,
+		stopName:       "cache.stop" + suffix,
+		evictionsName:  "cache.evictions" + suffix,
+		demotionsName:  "mem.demotions" + suffix,
+		promotionsName: "mem.promotions" + suffix,
+		spillsName:     "mem.spills" + suffix,
+		reloadsName:    "mem.reloads" + suffix,
+		memTrack:       fmt.Sprintf("gpu%d/mem", dev.ID),
+		spillDisk:      costmodel.DefaultSpillDisk,
+		regions:        make(map[int]*cacheRegion),
 	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.hostTierBytes > 0 {
+		m.hostPool = membuf.NewPool(wrapper.clock, wrapper.model, membuf.Config{})
+		m.hostPages = make(map[CacheKey]*hostPage)
+	}
+	return m
 }
 
-// observe directs the cache counters to r (wired by NewStreamManager,
-// which shares one registry across a worker's devices).
-func (m *GMemoryManager) observe(r *obs.Registry) { m.metrics = r }
+// NewGMemoryManager builds the manager from positional arguments.
+//
+// Deprecated: use NewMemoryManager with functional options
+// (WithPolicy, WithHostTierBytes, WithDiskBandwidth). This shim is
+// kept for one release, like the NewGStreamManager precedent.
+func NewGMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, policy CachePolicy) *GMemoryManager {
+	return NewMemoryManager(dev, wrapper, regionCap, WithPolicy(policy))
+}
+
+// observe directs the cache and tier counters to r and the tier spans
+// to tr (wired by NewStreamManager, which shares one registry and
+// tracer across a worker's devices).
+func (m *GMemoryManager) observe(r *obs.Registry, tr *obs.Tracer) {
+	m.metrics = r
+	m.tracer = tr
+}
 
 // Device returns the managed device.
 func (m *GMemoryManager) Device() *gpu.Device { return m.dev }
 
 // RegionCap returns the per-job cache-region capacity.
 func (m *GMemoryManager) RegionCap() int64 { return m.regionCap }
+
+// Policy returns the manager's eviction policy.
+func (m *GMemoryManager) Policy() EvictionPolicy { return m.pol }
+
+// HostTierBytes returns the host paging tier's capacity (0 when the
+// tier is disabled).
+func (m *GMemoryManager) HostTierBytes() int64 { return m.hostTierBytes }
 
 // region returns the job's cache region, allocating it lazily ("the
 // cache region of a specific job is allocated when the job starts").
@@ -101,7 +229,7 @@ func (m *GMemoryManager) region(jobID int) *cacheRegion {
 	r, ok := m.regions[jobID]
 	if !ok {
 		//gflink:allow-alloc lazy per-job region creation: once per job, not per work
-		r = &cacheRegion{capacity: m.regionCap, entries: make(map[CacheKey]*cacheEntry), fifo: list.New()}
+		r = &cacheRegion{capacity: m.regionCap, entries: make(map[CacheKey]*cacheEntry)}
 		//gflink:allow-alloc per-job region registration: once per job, not per work
 		m.regions[jobID] = r
 	}
@@ -109,22 +237,35 @@ func (m *GMemoryManager) region(jobID int) *cacheRegion {
 }
 
 // Acquire looks up key and, when present, pins the entry against
-// eviction and returns its device buffer. Callers must pair a hit with
+// eviction and returns its device buffer. With the host tier enabled a
+// device miss falls through to the page pool: a resident (or spilled)
+// page is promoted back to the device at simulated transfer (and disk)
+// cost and returned pinned, like a hit. Callers must pair a hit with
 // Release.
 //
 //gflink:hotpath
 func (m *GMemoryManager) Acquire(key CacheKey) (*gpu.Buffer, bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	r := m.region(key.JobID)
-	e, ok := r.entries[key]
-	if !ok {
-		m.metrics.Add(m.missesName, 1)
-		return nil, false
+	if e, ok := r.entries[key]; ok {
+		e.refs++
+		//gflink:allow-alloc policy dispatch: built-in Touch is pointer-only bookkeeping, verified hotalloc-clean in evict.go
+		m.pol.Touch(r, e)
+		m.metrics.Add(m.hitsName, 1)
+		m.mu.Unlock()
+		return e.buf, true
 	}
-	e.refs++
-	m.metrics.Add(m.hitsName, 1)
-	return e.buf, true
+	if m.hostTierBytes > 0 {
+		//gflink:allow-alloc tiered promotion lookup: opt-in path off the pinned hot route
+		if pg := m.takePageLocked(key); pg != nil {
+			m.mu.Unlock()
+			//gflink:allow-alloc tiered promotion: opt-in path off the pinned hot route
+			return m.promote(key, pg)
+		}
+	}
+	m.metrics.Add(m.missesName, 1)
+	m.mu.Unlock()
+	return nil, false
 }
 
 // Release unpins a previously acquired entry.
@@ -143,68 +284,117 @@ func (m *GMemoryManager) Release(key CacheKey) {
 // returns false (and leaves buf owned by the caller) when the region
 // cannot hold the object; on success the region owns buf. The new entry
 // starts pinned with one reference, matching the in-flight kernel that
-// triggered the transfer; the caller must Release it.
+// triggered the transfer; the caller must Release it. With the host
+// tier enabled, victims demote to host pages after the lock is
+// dropped — demotion charges simulated time, so it never runs under mu
+// (the lockhold invariant).
 //
 //gflink:hotpath
 func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	r := m.region(key.JobID)
 	if _, dup := r.entries[key]; dup {
 		m.metrics.Add(m.rejectsName, 1)
+		m.mu.Unlock()
 		return false
 	}
 	if nominal > r.capacity {
 		m.metrics.Add(m.rejectsName, 1)
+		m.mu.Unlock()
 		return false
 	}
 	for r.used+nominal > r.capacity {
-		if m.policy == StopWhenFull {
+		//gflink:allow-alloc policy dispatch: built-in Victim is a pointer-only list walk, verified hotalloc-clean in evict.go
+		v, stop := m.pol.Victim(r)
+		if stop {
 			m.metrics.Add(m.stopName, 1)
+			m.mu.Unlock()
 			return false
 		}
-		if !m.evictOldestLocked(r) {
+		if v == nil {
 			m.metrics.Add(m.rejectsName, 1)
+			m.mu.Unlock()
 			return false // everything pinned
 		}
+		m.evictLocked(r, v)
 	}
-	//gflink:allow-alloc cache-entry bookkeeping: one entry per cached block, bounded by the region capacity
-	e := &cacheEntry{buf: buf, nominal: nominal, refs: 1}
-	//gflink:allow-alloc FIFO eviction-order node, one per cached block
-	e.elem = r.fifo.PushBack(key)
+	e := m.entryLocked()
+	e.key, e.buf, e.nominal, e.refs = key, buf, nominal, 1
+	//gflink:allow-alloc policy dispatch: built-in Admit is a pointer-only list push, verified hotalloc-clean in evict.go
+	m.pol.Admit(r, e)
 	//gflink:allow-alloc cache-entry registration, one per cached block
 	r.entries[key] = e
 	r.used += nominal
 	m.metrics.Add(m.insertsName, 1)
+	pend := m.takePendingLocked()
+	m.mu.Unlock()
+	if pend != nil {
+		//gflink:allow-alloc tiered demotion: opt-in path off the pinned hot route
+		m.settle(pend)
+	}
 	return true
 }
 
-// evictOldestLocked removes the oldest unpinned entry, freeing its
-// device buffer. It reports whether anything was evicted.
+// evictLocked detaches a chosen victim from its region and either
+// frees its device buffer (no host tier) or queues it on m.pending for
+// demotion once the caller drops mu.
 //
 //gflink:hotpath
-func (m *GMemoryManager) evictOldestLocked(r *cacheRegion) bool {
-	//gflink:allow-alloc FIFO bookkeeping walk on the eviction path, not the steady-state hit path
-	for el := r.fifo.Front(); el != nil; el = el.Next() {
-		key := el.Value.(CacheKey)
-		e := r.entries[key]
-		if e.refs > 0 {
-			continue
-		}
-		//gflink:allow-alloc FIFO node removal on the eviction path
-		r.fifo.Remove(el)
-		delete(r.entries, key)
-		r.used -= e.nominal
-		m.dev.Free(e.buf)
+func (m *GMemoryManager) evictLocked(r *cacheRegion, e *cacheEntry) {
+	//gflink:allow-alloc policy dispatch: built-in Remove is a pointer-only list unlink, verified hotalloc-clean in evict.go
+	m.pol.Remove(r, e)
+	delete(r.entries, e.key)
+	r.used -= e.nominal
+	if m.hostTierBytes > 0 {
+		//gflink:allow-alloc tiered demotion queue: opt-in path off the pinned hot route
+		m.pending = append(m.pending, e)
 		m.metrics.Add(m.evictionsName, 1)
-		return true
+		return
 	}
-	return false
+	m.dev.Free(e.buf)
+	m.metrics.Add(m.evictionsName, 1)
+	m.recycleEntryLocked(e)
+}
+
+// entryLocked returns a zeroed cacheEntry shell from the free list.
+//
+//gflink:hotpath
+func (m *GMemoryManager) entryLocked() *cacheEntry {
+	if n := len(m.freeEntries); n > 0 {
+		e := m.freeEntries[n-1]
+		m.freeEntries[n-1] = nil
+		m.freeEntries = m.freeEntries[:n-1]
+		return e
+	}
+	//gflink:allow-alloc cache-entry cold start: shells recycle through the free list thereafter
+	return &cacheEntry{}
+}
+
+// recycleEntryLocked zeroes a shell and returns it to the free list.
+//
+//gflink:hotpath
+func (m *GMemoryManager) recycleEntryLocked(e *cacheEntry) {
+	*e = cacheEntry{}
+	//gflink:allow-alloc amortized free-list growth, bounded by the peak entry count
+	m.freeEntries = append(m.freeEntries, e)
+}
+
+// takePendingLocked hands the owed demotion batch (if any) to the
+// caller, which must run settle on it after releasing mu.
+//
+//gflink:hotpath
+func (m *GMemoryManager) takePendingLocked() []*cacheEntry {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	p := m.pending
+	m.pending = nil
+	return p
 }
 
 // CachedBytes sums the nominal sizes of the given keys present in this
 // device's regions — the quantity Algorithm 5.1 maximizes when picking
-// a GPU.
+// a GPU. Host-tier pages do not count: locality means device-resident.
 //
 //gflink:hotpath
 func (m *GMemoryManager) CachedBytes(keys []CacheKey) int64 {
@@ -241,59 +431,98 @@ func (m *GMemoryManager) Entries(jobID int) int {
 	return 0
 }
 
-// Reclaim evicts unpinned cache entries (oldest first, across regions
+// HostPages reports the number of host-tier pages (resident plus
+// spilled) held for a job.
+func (m *GMemoryManager) HostPages(jobID int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k := range m.hostPages {
+		if k.JobID == jobID {
+			n++
+		}
+	}
+	return n
+}
+
+// Reclaim evicts unpinned cache entries (policy order, across regions
 // in job order) until the device has at least need bytes free or
 // nothing more can be evicted — the automatic-management behaviour that
 // lets transient GWork allocations proceed under cache pressure.
+// Memory pressure overrides StopWhenFull: the policy's victim is freed
+// even though the policy forbids evict-to-admit. Pinned entries
+// (refs > 0) are never victims, never demoted, never spilled. With the
+// host tier enabled each victim demotes (charging simulated time) with
+// the mutex released.
 func (m *GMemoryManager) Reclaim(need int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for m.dev.FreeBytes() < need {
+	for {
+		m.mu.Lock()
+		if m.dev.FreeBytes() >= need {
+			m.mu.Unlock()
+			return
+		}
+		var victim *cacheEntry
 		jobs := make([]int, 0, len(m.regions))
 		for id := range m.regions {
 			jobs = append(jobs, id)
 		}
 		sort.Ints(jobs)
-		evicted := false
 		for _, id := range jobs {
-			if m.evictOldestLocked(m.regions[id]) {
-				evicted = true
+			r := m.regions[id]
+			if v, _ := m.pol.Victim(r); v != nil {
+				m.pol.Remove(r, v)
+				delete(r.entries, v.key)
+				r.used -= v.nominal
+				victim = v
 				break
 			}
 		}
-		if !evicted {
+		if victim == nil {
+			m.mu.Unlock()
 			return
 		}
+		if m.hostTierBytes > 0 {
+			m.metrics.Add(m.evictionsName, 1)
+			m.mu.Unlock()
+			m.demote(victim)
+			continue
+		}
+		m.dev.Free(victim.buf)
+		m.metrics.Add(m.evictionsName, 1)
+		m.recycleEntryLocked(victim)
+		m.mu.Unlock()
 	}
 }
 
 // ReleaseJob frees a job's whole cache region ("it is released when the
-// job finishes"). Releasing with in-flight references panics: the job
+// job finishes") along with any host-tier pages and spilled blobs the
+// job demoted. Releasing with in-flight references panics: the job
 // cannot finish while its work is still running.
 func (m *GMemoryManager) ReleaseJob(jobID int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r, ok := m.regions[jobID]
-	if !ok {
-		return
-	}
-	keys := make([]CacheKey, 0, len(r.entries))
-	for key := range r.entries {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Partition != b.Partition {
-			return a.Partition < b.Partition
+	if r, ok := m.regions[jobID]; ok {
+		keys := make([]CacheKey, 0, len(r.entries))
+		for key := range r.entries {
+			keys = append(keys, key)
 		}
-		return a.Block < b.Block
-	})
-	for _, key := range keys {
-		e := r.entries[key]
-		if e.refs > 0 {
-			panic(fmt.Sprintf("core: ReleaseJob(%d) with pinned cache entry %+v", jobID, key))
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Partition != b.Partition {
+				return a.Partition < b.Partition
+			}
+			return a.Block < b.Block
+		})
+		for _, key := range keys {
+			e := r.entries[key]
+			if e.refs > 0 {
+				panic(fmt.Sprintf("core: ReleaseJob(%d) with pinned cache entry %+v", jobID, key))
+			}
+			m.dev.Free(e.buf)
+			m.pol.Remove(r, e)
+			m.recycleEntryLocked(e)
 		}
-		m.dev.Free(e.buf)
+		delete(m.regions, jobID)
 	}
-	delete(m.regions, jobID)
+	m.releaseJobPagesLocked(jobID)
 }

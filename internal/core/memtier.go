@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sort"
+
+	"gflink/internal/gpu"
+	"gflink/internal/membuf"
+	"gflink/internal/obs"
+)
+
+// The host paging tier (DESIGN.md "Tiered memory", invariant 11).
+//
+// When WithHostTierBytes arms the tier, a victim's bytes are not lost
+// on eviction: they demote over PCIe into a membuf-backed host page,
+// spill onward to simulated disk when the host tier overflows, and
+// promote back to the device when a later Acquire asks for the key.
+// Every movement charges only simulated time — the real (scaled-down)
+// bytes are copied verbatim at each hop, so a promoted buffer is
+// bit-identical to the one that was evicted and output bytes never
+// change (invariant 11). None of these functions may be entered while
+// m.mu is held: they sleep on the virtual clock (the lockhold
+// invariant), taking the mutex themselves only around bookkeeping.
+
+// hostPage is one demoted cache object. Resident pages hold their real
+// bytes in an off-heap HBuffer and sit on the manager's oldest-first
+// spill list; spilled pages keep the bytes in a simulated on-disk blob
+// and leave the list.
+type hostPage struct {
+	key     CacheKey
+	nominal int64
+	real    int             // real (scaled-down) byte length
+	hbuf    *membuf.HBuffer // resident backing; nil when spilled or real == 0
+	disk    []byte          // simulated on-disk copy when spilled
+	spilled bool
+	prev    *hostPage
+	next    *hostPage
+}
+
+// pagePushBackLocked appends p as the newest resident page.
+func (m *GMemoryManager) pagePushBackLocked(p *hostPage) {
+	p.prev = m.hostTail
+	p.next = nil
+	if m.hostTail != nil {
+		m.hostTail.next = p
+	} else {
+		m.hostHead = p
+	}
+	m.hostTail = p
+}
+
+// pageUnlinkLocked removes p from the resident list.
+func (m *GMemoryManager) pageUnlinkLocked(p *hostPage) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		m.hostHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		m.hostTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+// pageLocked returns a zeroed hostPage shell from the free list.
+func (m *GMemoryManager) pageLocked() *hostPage {
+	if n := len(m.freePages); n > 0 {
+		p := m.freePages[n-1]
+		m.freePages[n-1] = nil
+		m.freePages = m.freePages[:n-1]
+		return p
+	}
+	return &hostPage{}
+}
+
+// recyclePageLocked releases a page's backing (host buffer or disk
+// blob) and returns the shell to the free list.
+func (m *GMemoryManager) recyclePageLocked(p *hostPage) {
+	if p.hbuf != nil {
+		p.hbuf.Free()
+	}
+	*p = hostPage{}
+	m.freePages = append(m.freePages, p)
+}
+
+// takePageLocked removes and returns the page cached under key, or nil.
+// Called with m.mu held (from Acquire); the caller promotes the page
+// after dropping the lock.
+func (m *GMemoryManager) takePageLocked(key CacheKey) *hostPage {
+	pg, ok := m.hostPages[key]
+	if !ok {
+		return nil
+	}
+	delete(m.hostPages, key)
+	if !pg.spilled {
+		m.pageUnlinkLocked(pg)
+		m.hostUsed -= pg.nominal
+	}
+	return pg
+}
+
+// settle demotes a batch of entries evicted under the lock. Runs
+// without m.mu held; only reachable with the host tier enabled.
+func (m *GMemoryManager) settle(pend []*cacheEntry) {
+	for i, e := range pend {
+		m.demote(e)
+		pend[i] = nil
+	}
+	m.mu.Lock()
+	if m.pending == nil {
+		m.pending = pend[:0]
+	}
+	m.mu.Unlock()
+}
+
+// demote moves an evicted entry's bytes from the device into the host
+// tier: one D2H transfer through the pre-opened redirection channel
+// (GFlinkTransferTime covers the JNI redirect and DMA setup), then the
+// device buffer is freed. Overflowing the host tier spills the oldest
+// resident pages to disk. The entry must already be detached from its
+// region and unpinned; m.mu must not be held.
+//
+//gflink:gated hosttier -- reachable only when the host paging tier is enabled; invariant 11 holds it to byte-preserving copies
+func (m *GMemoryManager) demote(e *cacheEntry) {
+	key, nominal := e.key, e.nominal
+	t0 := m.clock.Now()
+	m.clock.Sleep(m.model.PCIe.GFlinkTransferTime(nominal))
+	src := e.buf.Bytes()
+	var hb *membuf.HBuffer
+	if len(src) > 0 {
+		hb = m.hostPool.MustAllocate(len(src))
+		//gflink:real-copy -- demotion preserves the victim's real bytes verbatim (invariant 11)
+		copy(hb.Bytes(), src)
+	}
+	real := len(src)
+	m.dev.Free(e.buf)
+	m.metrics.Add(m.demotionsName, 1)
+	m.tracer.Record(m.memTrack, "mem", "demote", t0, m.clock.Now(), obs.Int("nominal", nominal))
+
+	var spills []*hostPage
+	m.mu.Lock()
+	m.recycleEntryLocked(e)
+	if old, ok := m.hostPages[key]; ok {
+		// A stale copy of the same key: the block was re-inserted and
+		// re-evicted while an earlier demotion or spill was in flight.
+		// The bytes we carry are the newest.
+		delete(m.hostPages, key)
+		if !old.spilled {
+			m.pageUnlinkLocked(old)
+			m.hostUsed -= old.nominal
+		}
+		m.recyclePageLocked(old)
+	}
+	pg := m.pageLocked()
+	pg.key, pg.nominal, pg.real, pg.hbuf = key, nominal, real, hb
+	m.hostPages[key] = pg
+	m.pagePushBackLocked(pg)
+	m.hostUsed += nominal
+	for m.hostUsed > m.hostTierBytes && m.hostHead != nil {
+		p := m.hostHead
+		m.pageUnlinkLocked(p)
+		delete(m.hostPages, p.key)
+		m.hostUsed -= p.nominal
+		spills = append(spills, p)
+	}
+	m.mu.Unlock()
+	for _, p := range spills {
+		m.spill(p)
+	}
+}
+
+// spill writes one page to the simulated spill disk, freeing its host
+// buffer. The page has already left the tier's map and resident list;
+// it re-enters the map as a spilled page once the disk write is
+// charged.
+//
+//gflink:gated hosttier -- reachable only when the host paging tier is enabled; invariant 11 holds it to byte-preserving copies
+func (m *GMemoryManager) spill(p *hostPage) {
+	t0 := m.clock.Now()
+	m.clock.Sleep(m.spillDisk.WriteTime(p.nominal))
+	if p.hbuf != nil {
+		//gflink:real-copy -- the disk blob is a verbatim copy of the page's real bytes (invariant 11)
+		p.disk = append(p.disk[:0], p.hbuf.Bytes()...)
+		p.hbuf.Free()
+		p.hbuf = nil
+	}
+	p.spilled = true
+	m.metrics.Add(m.spillsName, 1)
+	m.tracer.Record(m.memTrack, "mem", "spill", t0, m.clock.Now(), obs.Int("nominal", p.nominal))
+	m.mu.Lock()
+	if _, dup := m.hostPages[p.key]; dup {
+		// A fresher copy of the key re-entered the tier while the disk
+		// write was in flight; ours is stale.
+		m.recyclePageLocked(p)
+	} else {
+		m.hostPages[p.key] = p
+	}
+	m.mu.Unlock()
+}
+
+// promote moves a page's bytes back onto the device: a disk read first
+// when the page was spilled (counted as a reload), then one H2D
+// transfer, then the buffer re-enters the region through Insert —
+// pinned with one reference like any fresh insertion, so the caller
+// must Release it. On failure (device exhausted even after Reclaim, or
+// the region refuses the entry) the lookup degrades to a plain miss
+// and the caller re-transfers as usual. m.mu must not be held.
+//
+//gflink:gated hosttier -- reachable only when the host paging tier is enabled; invariant 11 holds it to byte-preserving copies
+func (m *GMemoryManager) promote(key CacheKey, pg *hostPage) (*gpu.Buffer, bool) {
+	t0 := m.clock.Now()
+	reload := pg.spilled
+	if reload {
+		m.clock.Sleep(m.spillDisk.ReadTime(pg.nominal))
+	}
+	m.clock.Sleep(m.model.PCIe.GFlinkTransferTime(pg.nominal))
+	buf, err := m.dev.Malloc(pg.nominal, pg.real)
+	if err != nil {
+		m.Reclaim(pg.nominal)
+		buf, err = m.dev.Malloc(pg.nominal, pg.real)
+	}
+	if err != nil {
+		m.restorePage(pg)
+		m.metrics.Add(m.missesName, 1)
+		return nil, false
+	}
+	if pg.hbuf != nil {
+		//gflink:real-copy -- promotion restores the demoted real bytes verbatim (invariant 11)
+		copy(buf.Bytes(), pg.hbuf.Bytes())
+	} else {
+		//gflink:real-copy -- promotion restores the spilled real bytes verbatim (invariant 11)
+		copy(buf.Bytes(), pg.disk)
+	}
+	nominal := pg.nominal
+	m.mu.Lock()
+	m.recyclePageLocked(pg)
+	m.mu.Unlock()
+	if !m.Insert(key, buf, nominal) {
+		// The region cannot take the entry back (stop policy, all
+		// pinned, or a racing insert won); degrade to a miss.
+		m.dev.Free(buf)
+		m.metrics.Add(m.missesName, 1)
+		return nil, false
+	}
+	if reload {
+		m.metrics.Add(m.reloadsName, 1)
+		m.tracer.Record(m.memTrack, "mem", "reload", t0, m.clock.Now(), obs.Int("nominal", nominal))
+	} else {
+		m.tracer.Record(m.memTrack, "mem", "promote", t0, m.clock.Now(), obs.Int("nominal", nominal))
+	}
+	m.metrics.Add(m.promotionsName, 1)
+	return buf, true
+}
+
+// restorePage puts a page back into the tier after a failed promotion,
+// charging nothing (the bytes never left the host).
+func (m *GMemoryManager) restorePage(pg *hostPage) {
+	m.mu.Lock()
+	if _, dup := m.hostPages[pg.key]; dup {
+		m.recyclePageLocked(pg)
+	} else {
+		m.hostPages[pg.key] = pg
+		if !pg.spilled {
+			m.pagePushBackLocked(pg)
+			m.hostUsed += pg.nominal
+		}
+	}
+	m.mu.Unlock()
+}
+
+// releaseJobPagesLocked drops every host-tier page and spilled blob a
+// job owns, in deterministic key order. Called with m.mu held from
+// ReleaseJob.
+func (m *GMemoryManager) releaseJobPagesLocked(jobID int) {
+	if len(m.hostPages) == 0 {
+		return
+	}
+	keys := make([]CacheKey, 0, len(m.hostPages))
+	for k := range m.hostPages {
+		if k.JobID == jobID {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
+		}
+		return a.Block < b.Block
+	})
+	for _, k := range keys {
+		pg := m.hostPages[k]
+		delete(m.hostPages, k)
+		if !pg.spilled {
+			m.pageUnlinkLocked(pg)
+			m.hostUsed -= pg.nominal
+		}
+		m.recyclePageLocked(pg)
+	}
+}

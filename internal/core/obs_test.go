@@ -18,7 +18,7 @@ func TestStreamOptions(t *testing.T) {
 	var cfg StreamConfig
 	for _, o := range []StreamOption{
 		WithTracer(tr), WithMetrics(reg), WithStealing(false),
-		WithPolicy(RoundRobin), WithStreamsPerGPU(7),
+		WithScheduler(RoundRobin), WithStreamsPerGPU(7),
 	} {
 		o(&cfg)
 	}

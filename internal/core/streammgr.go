@@ -150,8 +150,10 @@ func WithStealing(enabled bool) StreamOption {
 	return func(c *StreamConfig) { c.NoStealing = !enabled }
 }
 
-// WithPolicy selects the scheduling policy.
-func WithPolicy(p SchedulerPolicy) StreamOption {
+// WithScheduler selects the scheduling policy. (Formerly WithPolicy;
+// renamed when the memory manager's WithPolicy eviction option took
+// the name.)
+func WithScheduler(p SchedulerPolicy) StreamOption {
 	return func(c *StreamConfig) { c.Policy = p }
 }
 
@@ -188,7 +190,7 @@ func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
 	m.cntPooled = fmt.Sprintf("sched.pooled.w%d", m.node)
 	m.cntSteals = fmt.Sprintf("sched.steals.w%d", m.node)
 	for i, mem := range cfg.Memories {
-		mem.observe(cfg.Metrics)
+		mem.observe(cfg.Metrics, cfg.Tracer)
 		budgetCap := mem.Device().Profile.MemBytes - mem.RegionCap()
 		if min := mem.Device().Profile.MemBytes / 4; budgetCap < min {
 			budgetCap = min

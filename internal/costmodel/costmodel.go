@@ -213,6 +213,12 @@ type Disk struct {
 // DefaultDisk is a 7200 rpm SATA disk.
 var DefaultDisk = Disk{ReadMBps: 150, WriteMBps: 120, Seek: 8 * time.Millisecond}
 
+// DefaultSpillDisk is the node-local scratch SSD the tiered memory
+// subsystem spills host pages to when the host tier overflows
+// (core.WithDiskBandwidth overrides it): much faster than the
+// HDFS-era DefaultDisk, still an order of magnitude under PCIe.
+var DefaultSpillDisk = Disk{ReadMBps: 500, WriteMBps: 450, Seek: 100 * time.Microsecond}
+
 // ReadTime returns the time to stream-read n bytes.
 func (d Disk) ReadTime(n int64) time.Duration {
 	return d.Seek + seconds(float64(n)/(d.ReadMBps*1e6))
