@@ -8,6 +8,8 @@
 //   - GFlink itself (GPUManagers, GDST blocks, GWork, the GPU cache and
 //     the adaptive locality-aware stream scheduler),
 //   - the GStruct schema system with AoS/SoA/AoP layouts,
+//   - the streaming DataStream layer (bounded buffers, credit-based
+//     backpressure, tumbling-window aggregation with CPU/GPU placement),
 //   - the workload suite and the benchmark harness that regenerates
 //     every table and figure of the paper's evaluation.
 //
@@ -38,6 +40,7 @@ import (
 	"gflink/internal/gstruct"
 	"gflink/internal/obs"
 	"gflink/internal/plan"
+	"gflink/internal/stream"
 )
 
 // Core GFlink types.
@@ -139,6 +142,55 @@ const (
 	AutoPlace = plan.Auto
 	ForceCPU  = plan.ForceCPU
 	ForceGPU  = plan.ForceGPU
+)
+
+// Streaming DataStream layer: the unbounded counterpart to Plan. A
+// Stream is a linear source→window→sink pipeline whose stages run as
+// virtual-time processes connected by bounded, credit-backpressured
+// edges; window aggregation lowers onto the GPU map/reduce path or a
+// CPU slot by the same cost-model comparison Plan uses (DESIGN.md
+// "Streaming layer").
+type (
+	// Stream is a deferred streaming pipeline; NewStream starts one.
+	Stream = stream.Pipeline
+	// StreamOptions are a pipeline's resolved settings (shaped like
+	// PlanOptions: construct through NewStream's functional options).
+	StreamOptions = stream.Options
+	// StreamOption mutates StreamOptions at construction.
+	StreamOption = stream.Option
+	// StreamStage is a stage handle returned by the stage builders.
+	StreamStage = stream.Stage
+	// StreamRecord is one streaming element (key + value).
+	StreamRecord = stream.Record
+	// StreamResult is one pipeline run's measurements.
+	StreamResult = stream.Result
+	// StreamSourceSpec configures a generator source stage.
+	StreamSourceSpec = stream.SourceSpec
+	// StreamWindowSpec configures a tumbling-window aggregation stage.
+	StreamWindowSpec = stream.WindowSpec
+	// StreamTrigger decides when a window fires (TumblingCount).
+	StreamTrigger = stream.Trigger
+)
+
+// Stream constructors and functional options.
+var (
+	// NewStream starts an empty pipeline against a deployment, shaped
+	// like NewPlan: nothing touches the virtual clock until Run.
+	NewStream = stream.New
+	// TumblingCount builds a count-based tumbling-window trigger.
+	TumblingCount = stream.TumblingCount
+	// StreamWithMode pins window placement (ForceCPU/ForceGPU/AutoPlace).
+	StreamWithMode = stream.WithMode
+	// StreamWithBatchRecords sets the records per micro-batch.
+	StreamWithBatchRecords = stream.WithBatchRecords
+	// StreamWithBufferBatches sets the per-edge credit limit.
+	StreamWithBufferBatches = stream.WithBufferBatches
+	// StreamWithRecordBytes sets the nominal per-record wire size.
+	StreamWithRecordBytes = stream.WithRecordBytes
+	// StreamWithTracer directs the pipeline's spans to a tracer.
+	StreamWithTracer = stream.WithTracer
+	// StreamWithMetrics directs the stream.* counters to a registry.
+	StreamWithMetrics = stream.WithMetrics
 )
 
 // Cache-eviction policies for the per-job GPU cache region

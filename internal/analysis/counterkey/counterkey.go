@@ -1,8 +1,9 @@
 // Package counterkey enforces the metric-name half of DESIGN.md
-// invariant 8: every counter name passed to (*obs.Registry).Add must
-// be a compile-time constant format string that matches the metrics
-// grammar, so dashboards and the repository self-checks can enumerate
-// every counter the simulator can ever emit by reading the source.
+// invariant 8: every counter name passed to (*obs.Registry).Add or
+// (*obs.Registry).Max must be a compile-time constant format string
+// that matches the metrics grammar, so dashboards and the repository
+// self-checks can enumerate every counter the simulator can ever emit
+// by reading the source.
 //
 // The grammar mirrors the namespaces the obs registry documents:
 //
@@ -10,6 +11,7 @@
 //	sched.{direct|pooled|steals}[.w<N>]
 //	xfer.{h2d|d2h}.bytes.gpu<N>
 //	mem.{demotions|promotions|spills|reloads}[.gpu<N>]
+//	stream.{records|batches|windows|blockedns|grants|depthmax}[.s<N>]
 //
 // A key expression is evaluated symbolically into a pattern: string
 // constants and constant-format fmt.Sprintf calls contribute literal
@@ -72,10 +74,11 @@ const wildcard = "\x00"
 // grammar maps each namespace root to the matchers of its remaining
 // segments, in order. A key may stop early (prefix) but not run long.
 var grammar = map[string][]func(string) bool{
-	"cache": {oneOf("hits", "misses", "inserts", "rejects", "stop", "evictions"), numbered("gpu")},
-	"sched": {oneOf("direct", "pooled", "steals"), numbered("w")},
-	"xfer":  {oneOf("h2d", "d2h"), oneOf("bytes"), numbered("gpu")},
-	"mem":   {oneOf("demotions", "promotions", "spills", "reloads"), numbered("gpu")},
+	"cache":  {oneOf("hits", "misses", "inserts", "rejects", "stop", "evictions"), numbered("gpu")},
+	"sched":  {oneOf("direct", "pooled", "steals"), numbered("w")},
+	"xfer":   {oneOf("h2d", "d2h"), oneOf("bytes"), numbered("gpu")},
+	"mem":    {oneOf("demotions", "promotions", "spills", "reloads"), numbered("gpu")},
+	"stream": {oneOf("records", "batches", "windows", "blockedns", "grants", "depthmax"), numbered("s")},
 }
 
 func oneOf(names ...string) func(string) bool {
@@ -341,8 +344,10 @@ func (st *state) calleeKeyed(fn *types.Func) []int {
 	if fn == nil || fn.Pkg() == nil {
 		return nil
 	}
-	if fn.Pkg().Path() == obsPath && analysis.ObjectKey(fn) == "Registry.Add" {
-		return []int{0}
+	if fn.Pkg().Path() == obsPath {
+		if k := analysis.ObjectKey(fn); k == "Registry.Add" || k == "Registry.Max" {
+			return []int{0}
+		}
 	}
 	if fn.Pkg() == st.pass.Pkg {
 		local := st.keyed[fn]
@@ -403,7 +408,7 @@ func (st *state) check(sc *fnScope, parts []part) string {
 
 func badKey(pattern string) string {
 	display := strings.ReplaceAll(pattern, wildcard, "*")
-	return "counter name \"" + display + "\" does not match the metrics grammar (cache.*, sched.*, xfer.*, mem.*); see DESIGN.md invariant 8"
+	return "counter name \"" + display + "\" does not match the metrics grammar (cache.*, sched.*, xfer.*, mem.*, stream.*); see DESIGN.md invariant 8"
 }
 
 // rootParam reports whether an expression is (transitively) a read of

@@ -61,7 +61,7 @@ func init() {
 			model := costmodel.Default()
 			wrapper := core.NewCUDAWrapper(clock, model)
 			dev := gpu.NewDevice(clock, 0, 0, costmodel.C2050, model.PCIe)
-			mem := core.NewGMemoryManager(dev, wrapper, costmodel.C2050.MemBytes*6/10, core.EvictFIFO)
+			mem := core.NewMemoryManager(dev, wrapper, costmodel.C2050.MemBytes*6/10, core.WithPolicy(core.EvictFIFO))
 			mgr := core.NewStreamManager(core.StreamConfig{
 				Clock:    clock,
 				Wrapper:  wrapper,

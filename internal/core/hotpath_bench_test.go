@@ -24,7 +24,7 @@ func BenchmarkHotPath100kGWorks(b *testing.B) {
 	model := costmodel.Default()
 	wrapper := NewCUDAWrapper(clock, model)
 	dev := gpu.NewDevice(clock, 0, 0, costmodel.C2050, model.PCIe)
-	mem := NewGMemoryManager(dev, wrapper, costmodel.C2050.MemBytes*6/10, EvictFIFO)
+	mem := NewMemoryManager(dev, wrapper, costmodel.C2050.MemBytes*6/10, WithPolicy(EvictFIFO))
 	mgr := NewStreamManager(StreamConfig{
 		Clock:    clock,
 		Wrapper:  wrapper,

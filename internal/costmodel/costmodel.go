@@ -244,6 +244,12 @@ func (n Net) TransferTime(bytes int64) time.Duration {
 	return n.Latency + seconds(float64(bytes)/(n.BandwidthGbps*1e9/8))
 }
 
+// StreamCreditBytes is the wire size of one credit-grant control
+// message in the stream layer's backpressure protocol: a channel id,
+// a sequence number and a credit count. Small enough that a grant is
+// latency-bound on the cluster network.
+const StreamCreditBytes = 64
+
 // Overheads are the fixed framework costs of a Flink job.
 type Overheads struct {
 	// JobSubmit is client -> JobManager submission plus plan

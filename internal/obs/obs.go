@@ -265,6 +265,23 @@ func (r *Registry) Add(name string, delta int64) {
 	r.counters[name] += delta
 }
 
+// Max raises the named counter to v if v exceeds its current value — a
+// high-watermark gauge (queue depths, buffer occupancy) stored in the
+// same namespace-checked counter set as Add.
+//
+//gflink:hotpath
+func (r *Registry) Max(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v > r.counters[name] {
+		//gflink:allow-alloc bounded counter set; steady-state writes hit existing buckets
+		r.counters[name] = v
+	}
+}
+
 // Get returns the named counter's value (0 when never incremented).
 //
 //gflink:hotpath

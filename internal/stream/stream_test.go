@@ -1,0 +1,207 @@
+package stream_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"gflink/internal/core"
+	"gflink/internal/costmodel"
+	"gflink/internal/flink"
+	"gflink/internal/plan"
+	"gflink/internal/stream"
+)
+
+func build(workers int) *core.GFlink {
+	return core.New(core.Config{
+		Config: flink.Config{
+			Workers:        workers,
+			SlotsPerWorker: 4,
+			Model:          costmodel.Default(),
+		},
+		GPUsPerWorker: 1,
+	})
+}
+
+// runPipeline builds a two-worker source→window→sink pipeline with the
+// given options and returns its result.
+func runPipeline(t *testing.T, records int64, opts ...stream.Option) stream.Result {
+	t.Helper()
+	g := build(2)
+	var res stream.Result
+	g.Run(func() {
+		p := stream.New(g, "test", opts...)
+		p.Source("gen", 0, stream.SourceSpec{Records: records, Seed: 7}).
+			Window("agg", 1, stream.WindowSpec{Trigger: stream.TumblingCount(512), Slots: 64}).
+			Sink("out", 0)
+		res = p.Run()
+	})
+	return res
+}
+
+// TestZeroCreditProducerBlocks is the backpressure unit test: with a
+// one-batch buffer and a consumer slower than the source, the producer
+// must run out of credits, block on the virtual clock, and resume when
+// the consumer's grant comes back — visible as positive credits-blocked
+// time on a run that still processes every record.
+func TestZeroCreditProducerBlocks(t *testing.T) {
+	res := runPipeline(t, 4096,
+		stream.WithMode(plan.ForceCPU), stream.WithBufferBatches(1))
+	if res.Records != 4096 {
+		t.Fatalf("source produced %d records, want 4096", res.Records)
+	}
+	if res.Blocked <= 0 {
+		t.Errorf("producer never blocked on credits (blocked=%v); backpressure did not engage", res.Blocked)
+	}
+	if res.MaxDepth > 1 {
+		t.Errorf("edge depth reached %d batches with a 1-batch credit limit", res.MaxDepth)
+	}
+	if res.Windows != 8 {
+		t.Errorf("fired %d windows, want 8 (4096 records / 512-record tumble)", res.Windows)
+	}
+}
+
+// TestBlockedCounterExported checks the stream.blockedns counter (the
+// -check signal of abl-backpressure) reflects the blocking the result
+// reports.
+func TestBlockedCounterExported(t *testing.T) {
+	g := build(2)
+	var res stream.Result
+	g.Run(func() {
+		p := stream.New(g, "test", stream.WithMode(plan.ForceCPU), stream.WithBufferBatches(1))
+		p.Source("gen", 0, stream.SourceSpec{Records: 4096, Seed: 7}).
+			Window("agg", 1, stream.WindowSpec{Trigger: stream.TumblingCount(512), Slots: 64}).
+			Sink("out", 0)
+		res = p.Run()
+	})
+	blocked := g.Obs.Metrics().Total("stream.blockedns")
+	if blocked != int64(res.Blocked) {
+		t.Errorf("stream.blockedns total = %d, result reports %d", blocked, int64(res.Blocked))
+	}
+	if got := g.Obs.Metrics().Get("stream.records.s0"); got != 4096 {
+		t.Errorf("stream.records.s0 = %d, want 4096", got)
+	}
+	if got := g.Obs.Metrics().Get("stream.depthmax.s0"); got != res.MaxDepth {
+		t.Errorf("stream.depthmax.s0 = %d, result reports %d", got, res.MaxDepth)
+	}
+}
+
+// TestDeeperBufferBlocksLess pins the mechanism the abl-backpressure
+// curve rests on: more credits, less producer blocking, no fewer
+// records.
+func TestDeeperBufferBlocksLess(t *testing.T) {
+	shallow := runPipeline(t, 8192, stream.WithMode(plan.ForceCPU), stream.WithBufferBatches(1))
+	deep := runPipeline(t, 8192, stream.WithMode(plan.ForceCPU), stream.WithBufferBatches(16))
+	if deep.Blocked >= shallow.Blocked {
+		t.Errorf("16-batch buffer blocked %v, 1-batch buffer %v; want strictly less", deep.Blocked, shallow.Blocked)
+	}
+	if deep.Makespan >= shallow.Makespan {
+		t.Errorf("16-batch makespan %v not below 1-batch %v", deep.Makespan, shallow.Makespan)
+	}
+}
+
+// TestCPUAndGPUWindowsBitIdentical: both window bodies replay the same
+// float additions in the same order, so the sink checksum must match
+// bit for bit across placements.
+func TestCPUAndGPUWindowsBitIdentical(t *testing.T) {
+	cpu := runPipeline(t, 8192, stream.WithMode(plan.ForceCPU))
+	gpu := runPipeline(t, 8192, stream.WithMode(plan.ForceGPU))
+	if math.Float64bits(cpu.Checksum) != math.Float64bits(gpu.Checksum) {
+		t.Errorf("checksums differ across placement: CPU %v, GPU %v", cpu.Checksum, gpu.Checksum)
+	}
+	if cpu.Records != gpu.Records || cpu.Windows != gpu.Windows {
+		t.Errorf("record/window counts differ: CPU %d/%d, GPU %d/%d",
+			cpu.Records, cpu.Windows, gpu.Records, gpu.Windows)
+	}
+}
+
+// TestAutoPlacement: the default window body is a few thousand flops
+// per record — far past the point the GPU path wins — so Auto must
+// place it on the GPU; forcing pins regardless.
+func TestAutoPlacement(t *testing.T) {
+	g := build(2)
+	g.Run(func() {
+		p := stream.New(g, "test")
+		p.Source("gen", 0, stream.SourceSpec{Records: 2048, Seed: 7}).
+			Window("agg", 1, stream.WindowSpec{Trigger: stream.TumblingCount(512), Slots: 64}).
+			Sink("out", 0)
+		p.Run()
+		if d, ok := p.Placement("agg"); !ok || d != plan.GPU {
+			t.Errorf("Auto placed default-weight window on %v (ok=%v), want GPU", d, ok)
+		}
+	})
+
+	g = build(2)
+	g.Run(func() {
+		p := stream.New(g, "test", stream.WithMode(plan.ForceCPU))
+		p.Source("gen", 0, stream.SourceSpec{Records: 2048, Seed: 7}).
+			Window("agg", 1, stream.WindowSpec{Trigger: stream.TumblingCount(512), Slots: 64}).
+			Sink("out", 0)
+		p.Run()
+		if d, _ := p.Placement("agg"); d != plan.CPU {
+			t.Errorf("ForceCPU placed window on %v", d)
+		}
+	})
+}
+
+// TestPipelineDeterministic: identical pipelines on fresh deployments
+// produce identical results and span streams.
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() (stream.Result, interface{}) {
+		g := build(2)
+		var res stream.Result
+		g.Run(func() {
+			p := stream.New(g, "test", stream.WithBufferBatches(2))
+			p.Source("gen", 0, stream.SourceSpec{Records: 4096, Seed: 7}).
+				Window("agg", 1, stream.WindowSpec{Trigger: stream.TumblingCount(512), Slots: 64}).
+				Sink("out", 0)
+			res = p.Run()
+		})
+		return res, g.Obs.Tracer().Spans()
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if r1 != r2 {
+		t.Errorf("results differ across identical runs:\n  %+v\n  %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("span streams differ across identical runs")
+	}
+}
+
+// TestOptionsDefaults pins the documented defaults and the functional-
+// option plumbing.
+func TestOptionsDefaults(t *testing.T) {
+	g := build(1)
+	p := stream.New(g, "test")
+	o := p.Options()
+	if o.BatchRecords != 256 || o.BufferBatches != 4 || o.RecordBytes != 64 {
+		t.Errorf("defaults = %+v, want BatchRecords 256, BufferBatches 4, RecordBytes 64", o)
+	}
+	if o.Mode != plan.Auto {
+		t.Errorf("default mode = %v, want Auto", o.Mode)
+	}
+	p2 := stream.New(g, "test",
+		stream.WithMode(plan.ForceGPU), stream.WithBatchRecords(128),
+		stream.WithBufferBatches(9), stream.WithRecordBytes(32))
+	o2 := p2.Options()
+	if o2.Mode != plan.ForceGPU || o2.BatchRecords != 128 || o2.BufferBatches != 9 || o2.RecordBytes != 32 {
+		t.Errorf("options not applied: %+v", o2)
+	}
+}
+
+// TestThroughputReported sanity-checks the derived fields.
+func TestThroughputReported(t *testing.T) {
+	res := runPipeline(t, 4096, stream.WithMode(plan.ForceGPU))
+	if res.Makespan <= 0 {
+		t.Fatalf("non-positive makespan %v", res.Makespan)
+	}
+	want := float64(res.Records) / res.Makespan.Seconds()
+	if math.Abs(res.Throughput-want) > 1e-9*want {
+		t.Errorf("throughput %v, want %v", res.Throughput, want)
+	}
+	if res.Makespan > time.Hour {
+		t.Errorf("implausible makespan %v", res.Makespan)
+	}
+}

@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"gflink/internal/core"
+	"gflink/internal/plan"
+	"gflink/internal/stream"
+)
+
+// BackpressureParams configures the streaming backpressure workload: a
+// generator source on worker 0 feeding a tumbling-window aggregation on
+// the last worker (so every batch crosses the cluster network), with
+// the aggregates draining back to a sink on worker 0.
+type BackpressureParams struct {
+	// Records bounds the stream.
+	Records int64
+	// Mode places the window stage (plan.ForceCPU / plan.ForceGPU /
+	// plan.Auto).
+	Mode plan.Mode
+	// BufferBatches is the per-edge credit limit; 0 keeps the stream
+	// layer's default.
+	BufferBatches int
+	// BatchRecords overrides the micro-batch size; 0 keeps the default.
+	BatchRecords int
+	// WindowRecords is the tumbling-window width (default 1024).
+	WindowRecords int
+	// Slots is the aggregation table size (default 256).
+	Slots int
+	// Seed keys the generator (default 42).
+	Seed uint64
+}
+
+// Backpressure runs the rate-mismatched source→window→sink pipeline and
+// returns its result. Must be called inside g.Run, like every driver in
+// this package.
+func Backpressure(g *core.GFlink, p BackpressureParams) stream.Result {
+	if p.WindowRecords <= 0 {
+		p.WindowRecords = 1024
+	}
+	if p.Slots <= 0 {
+		p.Slots = 256
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	opts := []stream.Option{stream.WithMode(p.Mode)}
+	if p.BufferBatches > 0 {
+		opts = append(opts, stream.WithBufferBatches(p.BufferBatches))
+	}
+	if p.BatchRecords > 0 {
+		opts = append(opts, stream.WithBatchRecords(p.BatchRecords))
+	}
+	windowWorker := g.Cfg.Config.Workers - 1
+	pl := stream.New(g, "backpressure", opts...)
+	pl.Source("source", 0, stream.SourceSpec{Records: p.Records, Seed: p.Seed}).
+		Window("window", windowWorker, stream.WindowSpec{
+			Trigger: stream.TumblingCount(p.WindowRecords),
+			Slots:   p.Slots,
+		}).
+		Sink("sink", 0)
+	return pl.Run()
+}
