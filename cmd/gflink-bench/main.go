@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 		mdPath = flag.String("md", "", "also write results as markdown to this file")
 		check  = flag.Bool("check", false, "run each experiment's pinned-shape check and exit nonzero on regression")
 		trace  = flag.String("trace", "", "write a Chrome trace_event JSON of every run to this file")
+		bjson  = flag.String("benchjson", "", "write the rendered tables (header, rows, notes) as machine-readable JSON to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 	var md strings.Builder
 	var failed bool
 	var procs []obs.TraceProcess
+	var tables []*bench.Table
 	md.WriteString("# GFlink reproduction results\n\n")
 	for _, id := range ids {
 		e, ok := bench.ByID(strings.TrimSpace(id))
@@ -80,6 +83,7 @@ func main() {
 		}
 		fmt.Println(t.String())
 		md.WriteString(t.Markdown())
+		tables = append(tables, t)
 		if *check {
 			if e.Check == nil {
 				fmt.Printf("check %s: no pinned-shape check\n\n", e.ID)
@@ -90,6 +94,18 @@ func main() {
 				fmt.Printf("check %s: ok\n\n", e.ID)
 			}
 		}
+	}
+	if *bjson != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marshaling bench json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*bjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing bench json:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *bjson)
 	}
 	if failed {
 		os.Exit(1)

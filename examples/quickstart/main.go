@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"gflink"
@@ -102,9 +103,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "building trace:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile("quickstart-trace.json", trace, 0o644); err != nil {
+	// The trace lands in the system temp dir (or the path given as the
+	// first argument) rather than the working directory, so running the
+	// example never litters a source checkout.
+	out := filepath.Join(os.TempDir(), "quickstart-trace.json")
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	if err := os.WriteFile(out, trace, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "writing trace:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote quickstart-trace.json (%d spans: queue wait, H2D, kernel, D2H per GWork)\n", g.Obs.Tracer().Len())
+	fmt.Printf("\nwrote %s (%d spans: queue wait, H2D, kernel, D2H per GWork)\n", out, g.Obs.Tracer().Len())
 }

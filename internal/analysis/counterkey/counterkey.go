@@ -1,6 +1,8 @@
 // Package counterkey enforces the metric-name half of DESIGN.md
-// invariant 8: every counter name passed to (*obs.Registry).Add or
-// (*obs.Registry).Max must be a compile-time constant format string
+// invariant 8: every counter name passed to (*obs.Registry).Add,
+// (*obs.Registry).Max or (*obs.Registry).Counter (the preregistered
+// lock-free handle constructor) must be a compile-time constant format
+// string
 // that matches the metrics grammar, so dashboards and the repository
 // self-checks can enumerate every counter the simulator can ever emit
 // by reading the source.
@@ -345,7 +347,7 @@ func (st *state) calleeKeyed(fn *types.Func) []int {
 		return nil
 	}
 	if fn.Pkg().Path() == obsPath {
-		if k := analysis.ObjectKey(fn); k == "Registry.Add" || k == "Registry.Max" {
+		if k := analysis.ObjectKey(fn); k == "Registry.Add" || k == "Registry.Max" || k == "Registry.Counter" {
 			return []int{0}
 		}
 	}

@@ -26,12 +26,23 @@
 // AllocFree fact (exported by this analyzer when it analyzed that
 // package as a dependency) or belong to a small allowlist of known
 // non-allocating runtime entry points (sync mutex operations,
-// container/heap). Calls through function values or interface methods
-// have unknown behavior and are reported. A //gflink:allow-alloc
-// <reason> directive on (or above) the offending line waives one site
-// or call — that is the sanctioned escape hatch for pool growth,
-// error/cold branches and amortized reallocation — and a waived site
-// does not stop the function from exporting AllocFree.
+// container/heap, atomic loads/stores). Calls through function values
+// or interface methods have unknown behavior and are reported. A
+// //gflink:allow-alloc <reason> directive on (or above) the offending
+// line waives one site or call — that is the sanctioned escape hatch
+// for pool growth, error/cold branches and amortized reallocation —
+// and a waived site does not stop the function from exporting
+// AllocFree.
+//
+// Observability gates are recognized structurally: the body of an
+// `if x.Enabled() { ... }` statement — where Enabled is any niladic
+// method returning bool, the convention obs.Tracer and obs.Registry
+// follow — is an observability-cold branch, so allocations inside it
+// (attr slices, span storage) need no waiver. This is what makes the
+// tracing-OFF path *provably* zero-alloc without sprinkling waivers
+// over every span call site: allocation outside such a guard is still
+// reported, so an unguarded attr-slice construction on a hot path is a
+// finding, not a cost silently paid when tracing is off.
 package hotalloc
 
 import (
@@ -78,6 +89,10 @@ var allowlist = map[string]bool{
 	"container/heap.Push":  true,
 	"container/heap.Pop":   true,
 	"container/heap.Fix":   true,
+	// Atomic loads/stores back the vclock's lock-free Now fast path.
+	"sync/atomic.LoadInt64":  true,
+	"sync/atomic.StoreInt64": true,
+	"sync/atomic.AddInt64":   true,
 }
 
 // site is one unwaived allocation inside a function body.
@@ -220,7 +235,13 @@ func externClean(pass *analysis.Pass, fn *types.Func) bool {
 // on some other path).
 func scanBody(pass *analysis.Pass, sc *fnScan) {
 	info := pass.TypesInfo
+	cold := coldGuardRanges(info, sc.decl.Body)
 	waived := func(pos token.Pos) bool {
+		for _, r := range cold {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
 		return analysis.DirectiveAt(sc.idx, pass.Fset, "allow-alloc", pos)
 	}
 	addSite := func(pos token.Pos, what string) {
@@ -303,6 +324,49 @@ func scanBody(pass *analysis.Pass, sc *fnScan) {
 		}
 		return true
 	})
+}
+
+// coldGuardRanges collects the source ranges of if-bodies guarded by
+// an observability Enabled() gate. Sites and call edges inside such a
+// body are treated as waived: the branch only runs with tracing or
+// metrics enabled, and the invariant being enforced is that the
+// *disabled* path is allocation-free.
+func coldGuardRanges(info *types.Info, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && isEnabledGuard(info, ifs.Cond) {
+			out = append(out, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// isEnabledGuard reports whether cond is (or conjoins, via &&) a call
+// to a niladic method named Enabled returning bool.
+func isEnabledGuard(info *types.Info, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return isEnabledGuard(info, e.X) || isEnabledGuard(info, e.Y)
+		}
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Enabled" || len(e.Args) != 0 {
+			return false
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			return false
+		}
+		b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Bool
+	}
+	return false
 }
 
 // scanCall classifies one call expression: builtin allocators,

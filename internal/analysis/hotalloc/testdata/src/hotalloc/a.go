@@ -188,3 +188,34 @@ func hotSelectDefault(ch chan int, buf []int) []int {
 	}
 	return buf
 }
+
+// gate mimics the obs layer's Enabled convention: a niladic method
+// returning bool.
+type gate struct{ on bool }
+
+func (g *gate) Enabled() bool { return g != nil && g.on }
+
+// notGate has the right name but the wrong shape (takes an argument).
+type notGate struct{}
+
+func (notGate) Enabled(x int) bool { return x > 0 }
+
+// Allocations inside an Enabled()-guarded body are observability-cold:
+// they only run with tracing on, so the hot (disabled) path stays
+// provably allocation-free without waivers. Unguarded allocations and
+// allocations under a non-conforming guard are still reported.
+//
+//gflink:hotpath
+func hotEnabledGuard(g *gate, ng notGate, xs []int) int {
+	if g.Enabled() {
+		attrs := append([]int(nil), xs...)
+		return len(attrs)
+	}
+	if g != nil && g.Enabled() {
+		return len(make([]int, 4))
+	}
+	if ng.Enabled(1) {
+		return len(make([]int, 4)) // want `make allocates`
+	}
+	return append(xs, 1)[0] // want `append may grow`
+}

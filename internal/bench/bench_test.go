@@ -48,7 +48,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig8c", "fig8d", "table2",
 		"abl-layout", "abl-zerocopy", "abl-pipeline", "abl-locality", "abl-stealing", "abl-blocksize",
 		"abl-chaining", "abl-projection", "abl-chunking", "abl-oocore",
-		"abl-backpressure", "hotalloc-bench",
+		"abl-backpressure", "hotalloc-bench", "vclock-bench",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"gflink/internal/core"
+	"gflink/internal/obs"
+)
+
+// engineTrace runs one experiment with tracing and returns the Chrome
+// trace bytes, optionally flipping every deployment's clock to the
+// legacy (pre-batching, one-timer-per-dispatch) engine before it runs.
+func engineTrace(t *testing.T, id string, legacy bool) []byte {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s not registered", id)
+	}
+	if legacy {
+		deployConfigure = func(g *core.GFlink) { g.Clock.SetLegacyDispatch(true) }
+		defer func() { deployConfigure = nil }()
+	}
+	_, procs := RunTraced(e, testScale)
+	data, err := obs.ChromeTrace(procs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestBatchedDispatchMatchesLegacyTraces is the equivalence gate on the
+// batched vclock dispatcher: on full experiment workloads (fig8a's two
+// SpMV deployments and the six streaming backpressure cells), the
+// batched engine must produce byte-identical traces to the retained
+// legacy engine. Any divergence means batching changed a wake order —
+// exactly the regression the FIFO-by-seq invariant forbids.
+func TestBatchedDispatchMatchesLegacyTraces(t *testing.T) {
+	for _, id := range []string{"fig8a", "abl-backpressure"} {
+		batched := engineTrace(t, id, false)
+		legacy := engineTrace(t, id, true)
+		if !bytes.Equal(batched, legacy) {
+			t.Errorf("%s: batched-dispatch trace differs from legacy-dispatch trace (%d vs %d bytes)", id, len(batched), len(legacy))
+		}
+	}
+}

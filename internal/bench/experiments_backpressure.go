@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"gflink/internal/core"
 	"gflink/internal/plan"
 	"gflink/internal/stream"
 	"gflink/internal/workloads"
@@ -30,8 +31,10 @@ func backpressureRecords(scale int64) int64 {
 // a fresh two-worker deployment: the source on worker 0 outruns the
 // window consumer on worker 1, so throughput is governed by how much
 // pipeline overlap the credit limit allows.
-func backpressureRun(mode plan.Mode, limit int, scale int64) stream.Result {
-	g := paperSpec(2, 1, 1).Build()
+func backpressureRun(mode plan.Mode, limit int, scale int64, onBuild func(*core.GFlink)) stream.Result {
+	spec := paperSpec(2, 1, 1)
+	spec.OnBuild = onBuild
+	g := spec.Build()
 	var res stream.Result
 	g.Run(func() {
 		res = workloads.Backpressure(g, workloads.BackpressureParams{
@@ -55,22 +58,38 @@ func init() {
 				Paper:  "monotone throughput-vs-buffer-limit curve; producer blocks at limit 1",
 				Header: []string{"consumer", "buffer", "throughput", "blocked", "depth max"},
 			}
+			// The six (placement, limit) cells are independent two-worker
+			// deployments; the sweep fans out across OS threads in
+			// row-major declared order.
+			type point struct {
+				mode  plan.Mode
+				limit int
+			}
+			var pts []point
+			for _, mode := range []plan.Mode{plan.ForceCPU, plan.ForceGPU} {
+				for _, limit := range backpressureLimits {
+					pts = append(pts, point{mode, limit})
+				}
+			}
+			run := RunPoints(len(pts), func(i int, onBuild func(*core.GFlink)) stream.Result {
+				return backpressureRun(pts[i].mode, pts[i].limit, scale, onBuild)
+			})
 			thr := map[string]map[int]float64{}
 			blocked1 := map[string]int64{}
-			for _, mode := range []plan.Mode{plan.ForceCPU, plan.ForceGPU} {
-				name := mode.String()
-				thr[name] = map[int]float64{}
-				for _, limit := range backpressureLimits {
-					res := backpressureRun(mode, limit, scale)
-					thr[name][limit] = res.Throughput
-					if limit == backpressureLimits[0] {
-						blocked1[name] = int64(res.Blocked)
-					}
-					t.AddRow(name, fmt.Sprint(limit),
-						fmt.Sprintf("%.0f rec/s", res.Throughput),
-						res.Blocked.String(),
-						fmt.Sprint(res.MaxDepth))
+			for i, pt := range pts {
+				res := run[i]
+				name := pt.mode.String()
+				if thr[name] == nil {
+					thr[name] = map[int]float64{}
 				}
+				thr[name][pt.limit] = res.Throughput
+				if pt.limit == backpressureLimits[0] {
+					blocked1[name] = int64(res.Blocked)
+				}
+				t.AddRow(name, fmt.Sprint(pt.limit),
+					fmt.Sprintf("%.0f rec/s", res.Throughput),
+					res.Blocked.String(),
+					fmt.Sprint(res.MaxDepth))
 			}
 			for _, name := range []string{"cpu", "gpu"} {
 				t.Note("%s consumer throughput rec/s: b1=%.0f b4=%.0f b16=%.0f",

@@ -17,18 +17,26 @@ func init() {
 		Run: func(scale int64) *Table {
 			t := &Table{ID: "fig8a", Title: "GPU cache effect on SpMV", Paper: "uncached iterations pay the matrix transfer every time", Header: []string{"iteration", "with cache", "without cache"}}
 			p := workloads.SpMVParams{MatrixBytes: 1 << 30, NNZPerRow: 4, Iterations: 8, Seed: 7}
-			run := func(cache bool) (workloads.Result, int64) {
-				g := paperSpec(1, 2, scaled(50_000, scale)).Build()
+			type cell struct {
+				r    workloads.Result
+				hits int64
+			}
+			// The cached and uncached runs are independent deployments;
+			// declared order (with, without) fixes the trace numbering.
+			cells := RunPoints(2, func(i int, onBuild func(*core.GFlink)) cell {
+				spec := paperSpec(1, 2, scaled(50_000, scale))
+				spec.OnBuild = onBuild
+				g := spec.Build()
 				var r workloads.Result
 				g.Run(func() {
 					pc := p
-					pc.UseCache = cache
+					pc.UseCache = i == 0
 					r = workloads.SpMVGPU(g, pc)
 				})
-				return r, g.Obs.Metrics().Total("cache.hits")
-			}
-			with, hitsWith := run(true)
-			without, hitsWithout := run(false)
+				return cell{r, g.Obs.Metrics().Total("cache.hits")}
+			})
+			with, hitsWith := cells[0].r, cells[0].hits
+			without, hitsWithout := cells[1].r, cells[1].hits
 			for i := range with.Iterations {
 				t.AddRow(fmt.Sprint(i+1), secs(with.Iterations[i]), secs(without.Iterations[i]))
 			}
@@ -119,22 +127,30 @@ func init() {
 					return c.Total, r.Total
 				}},
 			}
-			results := make([][]float64, len(benches))
-			for pi, prof := range profiles {
+			// One deployment per GPU generation, fanned out across OS
+			// threads; each point returns its column of speedups.
+			cols := RunPoints(len(profiles), func(pi int, onBuild func(*core.GFlink)) []float64 {
 				spec := paperSpec(1, 2, scaled(100_000, scale))
-				spec.Profile = prof
+				spec.Profile = profiles[pi]
+				spec.OnBuild = onBuild
 				g := spec.Build()
+				col := make([]float64, len(benches))
 				g.Run(func() {
 					for bi, b := range benches {
-						if results[bi] == nil {
-							results[bi] = make([]float64, len(profiles))
-						}
 						cpu, gpu := b.run(g)
 						if gpu > 0 {
-							results[bi][pi] = float64(cpu) / float64(gpu)
+							col[bi] = float64(cpu) / float64(gpu)
 						}
 					}
 				})
+				return col
+			})
+			results := make([][]float64, len(benches))
+			for bi := range benches {
+				results[bi] = make([]float64, len(profiles))
+				for pi := range profiles {
+					results[bi][pi] = cols[pi][bi]
+				}
 			}
 			for bi, b := range benches {
 				row := []string{b.name}

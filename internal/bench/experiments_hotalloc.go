@@ -16,11 +16,12 @@ import (
 
 // allocBudget is the pinned per-GWork heap-allocation ceiling of the
 // submit/exec/complete hot path with tracing off. The pre-optimization
-// baseline was 85 allocs per GWork; the pooled fast path measures ~5
-// (per-op stream-command closures plus runtime noise), and the hotalloc
-// analyzer keeps new allocations off the annotated path. The ceiling
-// leaves headroom for allocator/runtime jitter while still failing long
-// before the old behaviour could return.
+// baseline was 85 allocs per GWork; with pooled stream-command shells,
+// a reusable launch future and preregistered counter handles the fast
+// path measures 0, and the hotalloc analyzer keeps new allocations off
+// the annotated path. The ceiling leaves headroom for allocator/runtime
+// jitter while still failing long before the old behaviour could
+// return.
 const allocBudget = 17.0
 
 func init() {

@@ -46,7 +46,7 @@ type oocoreCell struct {
 // so recency-aware policies keep the hot block resident and FIFO ages
 // it out. kind "spmv" is a pure cyclic scan over cold blocks — the
 // pattern where FIFO and LRU behave alike — included as the contrast.
-func oocoreRun(kind string, factor int, policy core.CachePolicy) oocoreCell {
+func oocoreRun(kind string, factor int, policy core.CachePolicy, onBuild func(*core.GFlink)) oocoreCell {
 	prof := costmodel.C2050
 	prof.Name = "C2050-oocore"
 	prof.MemBytes = oocoreDevBytes
@@ -57,6 +57,7 @@ func oocoreRun(kind string, factor int, policy core.CachePolicy) oocoreCell {
 	spec.CachePolicy = policy
 	spec.HostTierBytes = oocoreHostTier
 	spec.StreamsPerGPU = 1
+	spec.OnBuild = onBuild
 	g := spec.Build()
 
 	coldTotal := int64(factor) * oocoreCacheBytes
@@ -118,15 +119,36 @@ func init() {
 				Header: []string{"workload", "working set",
 					"fifo", "stop-when-full", "lru", "cost-aware"},
 			}
+			// The 32 (workload, factor, policy) cells are independent
+			// deployments, so the sweep fans out across OS threads; the
+			// declared order below is the table's row-major order.
+			type point struct {
+				kind   string
+				factor int
+				pol    core.CachePolicy
+			}
+			var pts []point
+			for _, kind := range []string{"kmeans", "spmv"} {
+				for _, f := range oocoreFactors {
+					for _, pol := range oocorePolicies {
+						pts = append(pts, point{kind, f, pol})
+					}
+				}
+			}
+			run := RunPoints(len(pts), func(i int, onBuild func(*core.GFlink)) oocoreCell {
+				return oocoreRun(pts[i].kind, pts[i].factor, pts[i].pol, onBuild)
+			})
 			var spillsDeep int64
 			cells := map[string]map[int]map[string]oocoreCell{}
+			i := 0
 			for _, kind := range []string{"kmeans", "spmv"} {
 				cells[kind] = map[int]map[string]oocoreCell{}
 				for _, f := range oocoreFactors {
 					row := []string{kind, fmt.Sprintf("%dx", f)}
 					cells[kind][f] = map[string]oocoreCell{}
 					for _, pol := range oocorePolicies {
-						c := oocoreRun(kind, f, pol)
+						c := run[i]
+						i++
 						cells[kind][f][pol.String()] = c
 						row = append(row, secs(c.makespan))
 						if f >= 5 {

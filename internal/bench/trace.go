@@ -11,11 +11,32 @@ import (
 // RunTraced installs it around one experiment run to collect each
 // deployment's tracer; experiments run one at a time (the bench CLI and
 // the test harness are sequential), so a plain package variable is
-// enough — no locking, no goroutines.
+// enough — no locking, no goroutines. Under RunPoints the observer
+// still runs sequentially: each point collects its deployments
+// privately and RunPoints replays them here, in declared point order,
+// after the barrier.
 var deployObserver func(*core.GFlink)
 
-// observeBuild is the Spec.OnBuild hook paperSpec wires in.
+// deployConfigure, when non-nil, runs against every deployment at build
+// time — before the deployment's clock starts — unlike deployObserver,
+// which RunPoints defers to the post-barrier replay. Parallel points
+// call it concurrently for their own deployments, so an installed hook
+// must only touch the deployment it is handed (the engine-equivalence
+// tests use it to flip fresh clocks to the legacy dispatcher).
+var deployConfigure func(*core.GFlink)
+
+// observeBuild is the Spec.OnBuild hook paperSpec wires in on the
+// serial path: configure at build time, then observe.
 func observeBuild(g *core.GFlink) {
+	if deployConfigure != nil {
+		deployConfigure(g)
+	}
+	observeDeploy(g)
+}
+
+// observeDeploy feeds one deployment to the (sequential-only) observer;
+// RunPoints replays collected deployments through it in declared order.
+func observeDeploy(g *core.GFlink) {
 	if deployObserver != nil {
 		deployObserver(g)
 	}

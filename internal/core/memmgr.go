@@ -57,25 +57,26 @@ type GMemoryManager struct {
 	regionCap int64
 	// metrics receives the cache counters ("cache.<event>.gpu<ID>") and
 	// tier counters ("mem.<event>.gpu<ID>"); nil until observe wires a
-	// registry. The counter names are precomputed per device so hot-path
-	// cache events don't concatenate strings (the counterkey analyzer
-	// validates them through field provenance).
-	metrics       *obs.Registry
-	hitsName      string
-	missesName    string
-	insertsName   string
-	rejectsName   string
-	stopName      string
-	evictionsName string
+	// registry. The counter handles are preregistered per device so
+	// hot-path cache events neither concatenate strings nor hash a
+	// counter name (the counterkey analyzer validates the names through
+	// the Registry.Counter call sites in observe).
+	metrics      *obs.Registry
+	cntHits      *obs.Counter
+	cntMisses    *obs.Counter
+	cntInserts   *obs.Counter
+	cntRejects   *obs.Counter
+	cntStop      *obs.Counter
+	cntEvictions *obs.Counter
 
 	// Tier observability: demotion/promotion/spill/reload spans land on
 	// the per-device mem track; tracer is nil until observe wires one.
-	tracer         *obs.Tracer
-	memTrack       string
-	demotionsName  string
-	promotionsName string
-	spillsName     string
-	reloadsName    string
+	tracer        *obs.Tracer
+	memTrack      string
+	cntDemotions  *obs.Counter
+	cntPromotions *obs.Counter
+	cntSpills     *obs.Counter
+	cntReloads    *obs.Counter
 
 	// hostTierBytes caps the host paging tier in nominal bytes; 0
 	// disables the tier entirely and victims are freed as before.
@@ -159,27 +160,16 @@ func WithDiskBandwidth(d costmodel.Disk) MemOption {
 // it reproduces the paper's configuration: FIFO eviction, no host
 // tier.
 func NewMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, opts ...MemOption) *GMemoryManager {
-	suffix := fmt.Sprintf(".gpu%d", dev.ID)
 	m := &GMemoryManager{
-		dev:            dev,
-		wrapper:        wrapper,
-		clock:          wrapper.clock,
-		model:          wrapper.model,
-		pol:            fifoPolicy{},
-		regionCap:      regionCap,
-		hitsName:       "cache.hits" + suffix,
-		missesName:     "cache.misses" + suffix,
-		insertsName:    "cache.inserts" + suffix,
-		rejectsName:    "cache.rejects" + suffix,
-		stopName:       "cache.stop" + suffix,
-		evictionsName:  "cache.evictions" + suffix,
-		demotionsName:  "mem.demotions" + suffix,
-		promotionsName: "mem.promotions" + suffix,
-		spillsName:     "mem.spills" + suffix,
-		reloadsName:    "mem.reloads" + suffix,
-		memTrack:       fmt.Sprintf("gpu%d/mem", dev.ID),
-		spillDisk:      costmodel.DefaultSpillDisk,
-		regions:        make(map[int]*cacheRegion),
+		dev:       dev,
+		wrapper:   wrapper,
+		clock:     wrapper.clock,
+		model:     wrapper.model,
+		pol:       fifoPolicy{},
+		regionCap: regionCap,
+		memTrack:  fmt.Sprintf("gpu%d/mem", dev.ID),
+		spillDisk: costmodel.DefaultSpillDisk,
+		regions:   make(map[int]*cacheRegion),
 	}
 	for _, o := range opts {
 		o(m)
@@ -206,6 +196,17 @@ func NewGMemoryManager(dev *gpu.Device, wrapper *CUDAWrapper, regionCap int64, p
 func (m *GMemoryManager) observe(r *obs.Registry, tr *obs.Tracer) {
 	m.metrics = r
 	m.tracer = tr
+	suffix := fmt.Sprintf(".gpu%d", m.dev.ID)
+	m.cntHits = r.Counter("cache.hits" + suffix)
+	m.cntMisses = r.Counter("cache.misses" + suffix)
+	m.cntInserts = r.Counter("cache.inserts" + suffix)
+	m.cntRejects = r.Counter("cache.rejects" + suffix)
+	m.cntStop = r.Counter("cache.stop" + suffix)
+	m.cntEvictions = r.Counter("cache.evictions" + suffix)
+	m.cntDemotions = r.Counter("mem.demotions" + suffix)
+	m.cntPromotions = r.Counter("mem.promotions" + suffix)
+	m.cntSpills = r.Counter("mem.spills" + suffix)
+	m.cntReloads = r.Counter("mem.reloads" + suffix)
 }
 
 // Device returns the managed device.
@@ -251,7 +252,7 @@ func (m *GMemoryManager) Acquire(key CacheKey) (*gpu.Buffer, bool) {
 		e.refs++
 		//gflink:allow-alloc policy dispatch: built-in Touch is pointer-only bookkeeping, verified hotalloc-clean in evict.go
 		m.pol.Touch(r, e)
-		m.metrics.Add(m.hitsName, 1)
+		m.cntHits.Add(1)
 		m.mu.Unlock()
 		return e.buf, true
 	}
@@ -263,7 +264,7 @@ func (m *GMemoryManager) Acquire(key CacheKey) (*gpu.Buffer, bool) {
 			return m.promote(key, pg)
 		}
 	}
-	m.metrics.Add(m.missesName, 1)
+	m.cntMisses.Add(1)
 	m.mu.Unlock()
 	return nil, false
 }
@@ -294,12 +295,12 @@ func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bo
 	m.mu.Lock()
 	r := m.region(key.JobID)
 	if _, dup := r.entries[key]; dup {
-		m.metrics.Add(m.rejectsName, 1)
+		m.cntRejects.Add(1)
 		m.mu.Unlock()
 		return false
 	}
 	if nominal > r.capacity {
-		m.metrics.Add(m.rejectsName, 1)
+		m.cntRejects.Add(1)
 		m.mu.Unlock()
 		return false
 	}
@@ -307,12 +308,12 @@ func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bo
 		//gflink:allow-alloc policy dispatch: built-in Victim is a pointer-only list walk, verified hotalloc-clean in evict.go
 		v, stop := m.pol.Victim(r)
 		if stop {
-			m.metrics.Add(m.stopName, 1)
+			m.cntStop.Add(1)
 			m.mu.Unlock()
 			return false
 		}
 		if v == nil {
-			m.metrics.Add(m.rejectsName, 1)
+			m.cntRejects.Add(1)
 			m.mu.Unlock()
 			return false // everything pinned
 		}
@@ -325,7 +326,7 @@ func (m *GMemoryManager) Insert(key CacheKey, buf *gpu.Buffer, nominal int64) bo
 	//gflink:allow-alloc cache-entry registration, one per cached block
 	r.entries[key] = e
 	r.used += nominal
-	m.metrics.Add(m.insertsName, 1)
+	m.cntInserts.Add(1)
 	pend := m.takePendingLocked()
 	m.mu.Unlock()
 	if pend != nil {
@@ -348,11 +349,11 @@ func (m *GMemoryManager) evictLocked(r *cacheRegion, e *cacheEntry) {
 	if m.hostTierBytes > 0 {
 		//gflink:allow-alloc tiered demotion queue: opt-in path off the pinned hot route
 		m.pending = append(m.pending, e)
-		m.metrics.Add(m.evictionsName, 1)
+		m.cntEvictions.Add(1)
 		return
 	}
 	m.dev.Free(e.buf)
-	m.metrics.Add(m.evictionsName, 1)
+	m.cntEvictions.Add(1)
 	m.recycleEntryLocked(e)
 }
 
@@ -482,13 +483,13 @@ func (m *GMemoryManager) Reclaim(need int64) {
 			return
 		}
 		if m.hostTierBytes > 0 {
-			m.metrics.Add(m.evictionsName, 1)
+			m.cntEvictions.Add(1)
 			m.mu.Unlock()
 			m.demote(victim)
 			continue
 		}
 		m.dev.Free(victim.buf)
-		m.metrics.Add(m.evictionsName, 1)
+		m.cntEvictions.Add(1)
 		m.recycleEntryLocked(victim)
 		m.mu.Unlock()
 	}

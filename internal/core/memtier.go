@@ -135,7 +135,7 @@ func (m *GMemoryManager) demote(e *cacheEntry) {
 	}
 	real := len(src)
 	m.dev.Free(e.buf)
-	m.metrics.Add(m.demotionsName, 1)
+	m.cntDemotions.Add(1)
 	m.tracer.Record(m.memTrack, "mem", "demote", t0, m.clock.Now(), obs.Int("nominal", nominal))
 
 	var spills []*hostPage
@@ -186,7 +186,7 @@ func (m *GMemoryManager) spill(p *hostPage) {
 		p.hbuf = nil
 	}
 	p.spilled = true
-	m.metrics.Add(m.spillsName, 1)
+	m.cntSpills.Add(1)
 	m.tracer.Record(m.memTrack, "mem", "spill", t0, m.clock.Now(), obs.Int("nominal", p.nominal))
 	m.mu.Lock()
 	if _, dup := m.hostPages[p.key]; dup {
@@ -222,7 +222,7 @@ func (m *GMemoryManager) promote(key CacheKey, pg *hostPage) (*gpu.Buffer, bool)
 	}
 	if err != nil {
 		m.restorePage(pg)
-		m.metrics.Add(m.missesName, 1)
+		m.cntMisses.Add(1)
 		return nil, false
 	}
 	if pg.hbuf != nil {
@@ -240,16 +240,16 @@ func (m *GMemoryManager) promote(key CacheKey, pg *hostPage) (*gpu.Buffer, bool)
 		// The region cannot take the entry back (stop policy, all
 		// pinned, or a racing insert won); degrade to a miss.
 		m.dev.Free(buf)
-		m.metrics.Add(m.missesName, 1)
+		m.cntMisses.Add(1)
 		return nil, false
 	}
 	if reload {
-		m.metrics.Add(m.reloadsName, 1)
+		m.cntReloads.Add(1)
 		m.tracer.Record(m.memTrack, "mem", "reload", t0, m.clock.Now(), obs.Int("nominal", nominal))
 	} else {
 		m.tracer.Record(m.memTrack, "mem", "promote", t0, m.clock.Now(), obs.Int("nominal", nominal))
 	}
-	m.metrics.Add(m.promotionsName, 1)
+	m.cntPromotions.Add(1)
 	return buf, true
 }
 

@@ -39,9 +39,10 @@ type GStreamManager struct {
 	// GWork objects are short-lived and per-block; recycling keeps the
 	// producer side of the pipeline allocation-free).
 	workPool *WorkPool
-	// Precomputed per-worker counter names, so the scheduling hot path
-	// never formats strings.
-	cntDirect, cntPooled, cntSteals string
+	// Preregistered per-worker counter handles, so the scheduling hot
+	// path never formats strings, hashes a name or takes the registry
+	// lock.
+	cntDirect, cntPooled, cntSteals *obs.Counter
 
 	mu   sync.Mutex
 	devs []*deviceState
@@ -63,9 +64,9 @@ type deviceState struct {
 	queue   vclock.FIFO[*GWork]        // this GPU's FIFO queue in the GWork Pool
 	idle    vclock.FIFO[*streamWorker] // idle streams of this bulk
 	streams []*streamWorker
-	// h2dName and d2hName are the precomputed per-device transfer
-	// counter names ("xfer.h2d.bytes.gpuN" / "xfer.d2h.bytes.gpuN").
-	h2dName, d2hName string
+	// cntH2D and cntD2H are the preregistered per-device transfer
+	// counters ("xfer.h2d.bytes.gpuN" / "xfer.d2h.bytes.gpuN").
+	cntH2D, cntD2H *obs.Counter
 	// queueTrack is the trace track carrying this device's queue-wait
 	// spans (kept off the stream tracks so parked work never overlaps
 	// an executing span).
@@ -103,6 +104,9 @@ type streamWorker struct {
 	// not per work; safe because a stream runs one work at a time).
 	tAfterH2D time.Duration
 	markH2D   func()
+	// fut is the reusable launch future (one per stream, not per work;
+	// safe because exec waits on each launch before issuing the next).
+	fut *gpu.Future
 }
 
 // StreamConfig configures a GStreamManager. Clock, Wrapper and
@@ -186,9 +190,9 @@ func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
 	if len(cfg.Memories) > 0 {
 		m.node = cfg.Memories[0].Device().Node
 	}
-	m.cntDirect = fmt.Sprintf("sched.direct.w%d", m.node)
-	m.cntPooled = fmt.Sprintf("sched.pooled.w%d", m.node)
-	m.cntSteals = fmt.Sprintf("sched.steals.w%d", m.node)
+	m.cntDirect = m.metrics.Counter(fmt.Sprintf("sched.direct.w%d", m.node))
+	m.cntPooled = m.metrics.Counter(fmt.Sprintf("sched.pooled.w%d", m.node))
+	m.cntSteals = m.metrics.Counter(fmt.Sprintf("sched.steals.w%d", m.node))
 	for i, mem := range cfg.Memories {
 		mem.observe(cfg.Metrics, cfg.Tracer)
 		budgetCap := mem.Device().Profile.MemBytes - mem.RegionCap()
@@ -200,8 +204,8 @@ func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
 			queueTrack: fmt.Sprintf("w%d/gpu%d/queue", mem.Device().Node, i),
 			budget:     vclock.NewSemaphore(cfg.Clock, fmt.Sprintf("gpu%d-membudget", mem.Device().ID), budgetCap),
 			budgetCap:  budgetCap,
-			h2dName:    fmt.Sprintf("xfer.h2d.bytes.gpu%d", mem.Device().ID),
-			d2hName:    fmt.Sprintf("xfer.d2h.bytes.gpu%d", mem.Device().ID),
+			cntH2D:     m.metrics.Counter(fmt.Sprintf("xfer.h2d.bytes.gpu%d", mem.Device().ID)),
+			cntD2H:     m.metrics.Counter(fmt.Sprintf("xfer.d2h.bytes.gpu%d", mem.Device().ID)),
 		}
 		for s := 0; s < cfg.StreamsPerGPU; s++ {
 			sw := &streamWorker{
@@ -214,6 +218,7 @@ func NewStreamManager(cfg StreamConfig, opts ...StreamOption) *GStreamManager {
 				track:  fmt.Sprintf("w%d/gpu%d/s%d", mem.Device().Node, i, s),
 			}
 			sw.markH2D = func() { sw.tAfterH2D = sw.mgr.clock.Now() }
+			sw.fut = gpu.NewFuture(cfg.Clock)
 			if cfg.Chunking {
 				// The double-buffer lane. Created only when chunking is
 				// on: a stream is a virtual-clock process, and spawning
@@ -317,12 +322,12 @@ func (m *GStreamManager) Submit(w *GWork) {
 		m.devs[q].queue.Push(w)
 		m.pooled++
 		m.mu.Unlock()
-		m.metrics.Add(m.cntPooled, 1)
+		m.cntPooled.Add(1)
 		return
 	}
 	m.directDispatch++
 	m.mu.Unlock()
-	m.metrics.Add(m.cntDirect, 1)
+	m.cntDirect.Add(1)
 	sw.inbox.Put(w)
 }
 
@@ -410,7 +415,7 @@ func (m *GStreamManager) stealLocked(gid int) *GWork {
 	w, _ := m.devs[best].queue.Pop()
 	m.steals++
 	w.stolenFrom = m.devs[best].dev.ID
-	m.metrics.Add(m.cntSteals, 1)
+	m.cntSteals.Add(1)
 	return w
 }
 
@@ -585,7 +590,7 @@ func (sw *streamWorker) exec(w *GWork) {
 		} else {
 			wr.MemcpyH2DAsync(sw.stream, buf, in.Buf, in.Nominal)
 		}
-		mgr.metrics.Add(sw.ds.h2dName, in.Nominal)
+		sw.ds.cntH2D.Add(in.Nominal)
 	}
 
 	outBuf, err := sw.malloc(w.OutNominal, len(w.Out.Bytes()))
@@ -618,13 +623,13 @@ func (sw *streamWorker) exec(w *GWork) {
 	if w.Coalesce > 0 {
 		ctx.SetCoalesce(w.Coalesce)
 	}
-	fut := wr.LaunchAsync(sw.stream, w.ExecuteName, ctx)
+	wr.LaunchAsyncInto(sw.stream, sw.fut, w.ExecuteName, ctx)
 
 	// Stage 3: device-to-host output transfer.
 	wr.MemcpyD2HAsync(sw.stream, w.Out, outBuf, w.OutNominal)
-	mgr.metrics.Add(sw.ds.d2hName, w.OutNominal)
+	sw.ds.cntD2H.Add(w.OutNominal)
 	wr.StreamSynchronize(sw.stream)
-	kernelDur, kerr := fut.Wait()
+	kernelDur, kerr := sw.fut.Wait()
 
 	// Post-execution bookkeeping: cache fresh inputs, then drop pins and
 	// scratch allocations.
@@ -663,8 +668,7 @@ func (sw *streamWorker) exec(w *GWork) {
 	}
 	w.err = kerr
 	w.device = dev
-	if mgr.tracer != nil {
-		//gflink:allow-alloc tracing-on span recording: variadic attributes
+	if mgr.tracer.Enabled() {
 		mgr.tracer.RecordGWork(sw.track, sw.ds.queueTrack, w.ExecuteName, w.submitT, tStart, w.report, obs.Int("job", int64(w.JobID)))
 	}
 	w.done.Set()

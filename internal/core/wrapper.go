@@ -112,6 +112,15 @@ func (w *CUDAWrapper) LaunchAsync(s *gpu.Stream, name string, ctx *gpu.KernelCtx
 	return s.LaunchAsync(name, ctx)
 }
 
+// LaunchAsyncInto enqueues a kernel launch that completes through a
+// caller-owned reusable future (see gpu.Stream.LaunchAsyncInto), so a
+// stream worker that waits on each launch before the next one launches
+// kernels without allocating.
+func (w *CUDAWrapper) LaunchAsyncInto(s *gpu.Stream, f *gpu.Future, name string, ctx *gpu.KernelCtx) {
+	w.jni()
+	s.LaunchAsyncInto(f, name, ctx)
+}
+
 // StreamCreate creates a CUDA stream (cudaStreamCreate).
 func (w *CUDAWrapper) StreamCreate(d *gpu.Device) *gpu.Stream {
 	w.jni()

@@ -9,6 +9,43 @@ import (
 	"gflink/internal/vclock"
 )
 
+// cmdOp selects which stream command a pooled cmd shell carries.
+type cmdOp uint8
+
+const (
+	opH2D cmdOp = iota
+	opH2DRanges
+	opD2H
+	opD2HRanges
+	opLaunch
+	opLaunchChunk
+	opCallback
+)
+
+// cmd is a pooled stream command. Commands used to be heap-allocated
+// closures — one per async op, which made every GWork pay three
+// closure allocations on the pinned hot route. Shells now recycle
+// through a per-stream free list: the submitting process takes a shell,
+// the stream's executor process returns it after running the command.
+// The two processes share the free list without locking for the same
+// reason every other cooperative-scheduler scratch does: the virtual
+// clock runs exactly one process at a time, with happens-before edges
+// through the clock's own synchronization.
+type cmd struct {
+	op      cmdOp
+	dbuf    *Buffer         // device side of a copy
+	hbuf    *membuf.HBuffer // host side of a copy
+	ranges  []CopyRange
+	nominal int64
+	name    string
+	ctx     *KernelCtx
+	fut     *Future
+	k       int
+	chunks  int
+	after   *vclock.Event
+	fn      func()
+}
+
 // Stream is a CUDA stream: a FIFO command queue executed by its own
 // virtual-time process. Commands within one stream run in order;
 // commands on different streams overlap, which is what the three-stage
@@ -17,7 +54,7 @@ type Stream struct {
 	dev  *Device
 	id   int
 	cpu  costmodel.CPU
-	q    *vclock.Queue[func()]
+	q    *vclock.Queue[*cmd]
 	done *vclock.Event
 	// syncEv/syncSet are the reusable Synchronize rendezvous: one event,
 	// reset per call, plus its prebuilt Set closure, so synchronizing a
@@ -25,6 +62,9 @@ type Stream struct {
 	// synchronizer at a time (its owning stream worker).
 	syncEv  *vclock.Event
 	syncSet func()
+	// freeCmds recycles command shells between the submitter and the
+	// executor process (see cmd).
+	freeCmds []*cmd
 }
 
 // NewStream creates a stream and starts its executor process. Streams
@@ -40,7 +80,7 @@ func (d *Device) NewStream(cpu costmodel.CPU) *Stream {
 		dev:  d,
 		id:   len(d.streams),
 		cpu:  cpu,
-		q:    vclock.NewQueue[func()](d.clock),
+		q:    vclock.NewQueue[*cmd](d.clock),
 		done: vclock.NewEvent(d.clock),
 	}
 	s.syncEv = vclock.NewEvent(d.clock)
@@ -51,14 +91,88 @@ func (d *Device) NewStream(cpu costmodel.CPU) *Stream {
 	return s
 }
 
+// takeCmd pops a command shell from the free list.
+//
+//gflink:hotpath
+func (s *Stream) takeCmd() *cmd {
+	if n := len(s.freeCmds); n > 0 {
+		c := s.freeCmds[n-1]
+		s.freeCmds = s.freeCmds[:n-1]
+		return c
+	}
+	//gflink:allow-alloc pool cold start: command shells recycle through the free list thereafter
+	return &cmd{}
+}
+
+// recycle clears a shell's references and returns it to the free list.
+// Only the executor process calls this, after the command has run.
+func (s *Stream) recycle(c *cmd) {
+	*c = cmd{}
+	s.freeCmds = append(s.freeCmds, c)
+}
+
 func (s *Stream) run() {
 	defer s.done.Set()
 	for {
-		op, ok := s.q.Get()
+		c, ok := s.q.Get()
 		if !ok {
 			return
 		}
-		op()
+		s.exec(c)
+		s.recycle(c)
+	}
+}
+
+// exec runs one command on the executor process.
+func (s *Stream) exec(c *cmd) {
+	switch c.op {
+	case opH2D:
+		s.dev.h2d.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(c.nominal))
+		s.dev.h2d.Release(1)
+		copy(c.dbuf.data, c.hbuf.Bytes())
+		s.dev.count(&s.dev.h2dCopies, &s.dev.h2dBytes, c.nominal)
+	case opH2DRanges:
+		s.dev.h2d.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(c.nominal))
+		s.dev.h2d.Release(1)
+		if c.ranges == nil {
+			copy(c.dbuf.data, c.hbuf.Bytes())
+		} else {
+			for _, r := range c.ranges {
+				clampCopy(c.dbuf.data, c.hbuf.Bytes(), r)
+			}
+		}
+		s.dev.count(&s.dev.h2dCopies, &s.dev.h2dBytes, c.nominal)
+	case opD2H:
+		s.dev.d2h.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(c.nominal))
+		s.dev.d2h.Release(1)
+		copy(c.hbuf.Bytes(), c.dbuf.data)
+		s.dev.count(&s.dev.d2hCopies, &s.dev.d2hBytes, c.nominal)
+	case opD2HRanges:
+		s.dev.d2h.Acquire(1)
+		s.dev.clock.Sleep(s.dev.pcie.TransferTime(c.nominal))
+		s.dev.d2h.Release(1)
+		if c.ranges == nil {
+			copy(c.hbuf.Bytes(), c.dbuf.data)
+		} else {
+			for _, r := range c.ranges {
+				clampCopy(c.hbuf.Bytes(), c.dbuf.data, r)
+			}
+		}
+		s.dev.count(&s.dev.d2hCopies, &s.dev.d2hBytes, c.nominal)
+	case opLaunch:
+		c.fut.dur, c.fut.err = s.dev.Launch(c.name, c.ctx)
+		c.fut.ev.Set()
+	case opLaunchChunk:
+		if c.after != nil {
+			c.after.Wait()
+		}
+		c.fut.dur, c.fut.err = s.dev.launchChunk(c.name, c.ctx, c.k, c.chunks)
+		c.fut.ev.Set()
+	case opCallback:
+		c.fn()
 	}
 }
 
@@ -80,14 +194,9 @@ func (s *Stream) H2DAsync(dst *Buffer, src *membuf.HBuffer, nominal int64) {
 	if !src.Pinned() {
 		panic("gpu: H2DAsync requires a page-locked host buffer")
 	}
-	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
-	s.q.Put(func() {
-		s.dev.h2d.Acquire(1)
-		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
-		s.dev.h2d.Release(1)
-		copy(dst.data, src.Bytes())
-		s.dev.count(&s.dev.h2dCopies, &s.dev.h2dBytes, nominal)
-	})
+	c := s.takeCmd()
+	c.op, c.dbuf, c.hbuf, c.nominal = opH2D, dst, src, nominal
+	s.q.Put(c)
 }
 
 // CopyRange is one byte range of a host/device buffer pair, used by the
@@ -127,20 +236,9 @@ func (s *Stream) H2DRangesAsync(dst *Buffer, src *membuf.HBuffer, ranges []CopyR
 	if !src.Pinned() {
 		panic("gpu: H2DRangesAsync requires a page-locked host buffer")
 	}
-	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
-	s.q.Put(func() {
-		s.dev.h2d.Acquire(1)
-		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
-		s.dev.h2d.Release(1)
-		if ranges == nil {
-			copy(dst.data, src.Bytes())
-		} else {
-			for _, r := range ranges {
-				clampCopy(dst.data, src.Bytes(), r)
-			}
-		}
-		s.dev.count(&s.dev.h2dCopies, &s.dev.h2dBytes, nominal)
-	})
+	c := s.takeCmd()
+	c.op, c.dbuf, c.hbuf, c.ranges, c.nominal = opH2DRanges, dst, src, ranges, nominal
+	s.q.Put(c)
 }
 
 // D2HRangesAsync is the device-to-host counterpart of H2DRangesAsync.
@@ -148,20 +246,9 @@ func (s *Stream) D2HRangesAsync(dst *membuf.HBuffer, src *Buffer, ranges []CopyR
 	if !dst.Pinned() {
 		panic("gpu: D2HRangesAsync requires a page-locked host buffer")
 	}
-	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
-	s.q.Put(func() {
-		s.dev.d2h.Acquire(1)
-		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
-		s.dev.d2h.Release(1)
-		if ranges == nil {
-			copy(dst.Bytes(), src.data)
-		} else {
-			for _, r := range ranges {
-				clampCopy(dst.Bytes(), src.data, r)
-			}
-		}
-		s.dev.count(&s.dev.d2hCopies, &s.dev.d2hBytes, nominal)
-	})
+	c := s.takeCmd()
+	c.op, c.dbuf, c.hbuf, c.ranges, c.nominal = opD2HRanges, src, dst, ranges, nominal
+	s.q.Put(c)
 }
 
 // D2HAsync enqueues an asynchronous device-to-host copy into a
@@ -172,29 +259,40 @@ func (s *Stream) D2HAsync(dst *membuf.HBuffer, src *Buffer, nominal int64) {
 	if !dst.Pinned() {
 		panic("gpu: D2HAsync requires a page-locked host buffer")
 	}
-	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
-	s.q.Put(func() {
-		s.dev.d2h.Acquire(1)
-		s.dev.clock.Sleep(s.dev.pcie.TransferTime(nominal))
-		s.dev.d2h.Release(1)
-		copy(dst.Bytes(), src.data)
-		s.dev.count(&s.dev.d2hCopies, &s.dev.d2hBytes, nominal)
-	})
+	c := s.takeCmd()
+	c.op, c.dbuf, c.hbuf, c.nominal = opD2H, src, dst, nominal
+	s.q.Put(c)
 }
 
 // LaunchAsync enqueues a kernel launch. Errors surface through the
-// returned future.
+// returned future. Each call allocates a fresh future, so callers may
+// hold any number of them outstanding; hot paths that launch one
+// kernel at a time should use LaunchAsyncInto with a reusable Future
+// instead.
+func (s *Stream) LaunchAsync(name string, ctx *KernelCtx) *Future {
+	f := &Future{ev: vclock.NewEvent(s.dev.clock)}
+	s.launch(f, name, ctx)
+	return f
+}
+
+// LaunchAsyncInto enqueues a kernel launch that completes through the
+// caller-owned reusable future f (see NewFuture). The future is valid
+// until the caller's next LaunchAsyncInto with the same future; a
+// stream worker that waits on each launch before issuing the next one
+// can therefore run an unbounded number of launches with zero
+// allocations.
 //
 //gflink:hotpath
-func (s *Stream) LaunchAsync(name string, ctx *KernelCtx) *Future {
-	//gflink:allow-alloc per-launch future and completion event, bounded by stream queue depth
-	f := &Future{ev: vclock.NewEvent(s.dev.clock)}
-	//gflink:allow-alloc per-op command closure, bounded by stream queue depth
-	s.q.Put(func() {
-		f.dur, f.err = s.dev.Launch(name, ctx)
-		f.ev.Set()
-	})
-	return f
+func (s *Stream) LaunchAsyncInto(f *Future, name string, ctx *KernelCtx) {
+	f.ev.Reset()
+	s.launch(f, name, ctx)
+}
+
+//gflink:hotpath
+func (s *Stream) launch(f *Future, name string, ctx *KernelCtx) {
+	c := s.takeCmd()
+	c.op, c.fut, c.name, c.ctx = opLaunch, f, name, ctx
+	s.q.Put(c)
 }
 
 // LaunchChunkAsync enqueues chunk k of a chunks-way split kernel
@@ -208,13 +306,10 @@ func (s *Stream) LaunchAsync(name string, ctx *KernelCtx) *Future {
 // overhead the chunk policy trades against transfer/kernel overlap.
 func (s *Stream) LaunchChunkAsync(name string, ctx *KernelCtx, k, chunks int, after *vclock.Event) *Future {
 	f := &Future{ev: vclock.NewEvent(s.dev.clock)}
-	s.q.Put(func() {
-		if after != nil {
-			after.Wait()
-		}
-		f.dur, f.err = s.dev.launchChunk(name, ctx, k, chunks)
-		f.ev.Set()
-	})
+	c := s.takeCmd()
+	c.op, c.fut, c.name, c.ctx = opLaunchChunk, f, name, ctx
+	c.k, c.chunks, c.after = k, chunks, after
+	s.q.Put(c)
 	return f
 }
 
@@ -226,7 +321,9 @@ func (f *Future) Done() *vclock.Event { return f.ev }
 //
 //gflink:hotpath
 func (s *Stream) Callback(fn func()) {
-	s.q.Put(fn)
+	c := s.takeCmd()
+	c.op, c.fn = opCallback, fn
+	s.q.Put(c)
 }
 
 // Synchronize blocks the calling process until every previously
@@ -237,7 +334,9 @@ func (s *Stream) Callback(fn func()) {
 //gflink:hotpath
 func (s *Stream) Synchronize() {
 	s.syncEv.Reset()
-	s.q.Put(s.syncSet)
+	c := s.takeCmd()
+	c.op, c.fn = opCallback, s.syncSet
+	s.q.Put(c)
 	s.syncEv.Wait()
 }
 
@@ -246,6 +345,11 @@ type Future struct {
 	ev  *vclock.Event
 	dur time.Duration
 	err error
+}
+
+// NewFuture builds a reusable completion handle for LaunchAsyncInto.
+func NewFuture(c *vclock.Clock) *Future {
+	return &Future{ev: vclock.NewEvent(c)}
 }
 
 // Wait blocks until the launch completes and returns its kernel

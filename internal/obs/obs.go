@@ -58,26 +58,54 @@ type Span struct {
 func (s Span) Dur() time.Duration { return s.End - s.Start }
 
 // Tracer collects spans. All methods are nil-safe no-ops, so producers
-// can thread an optional tracer without guards.
+// can thread an optional tracer without guards; SetEnabled(false)
+// additionally turns a live tracer into a zero-cost sink.
 type Tracer struct {
 	mu    sync.Mutex
 	spans []Span
 	seq   uint64
+	// disabled is set before the simulation runs and never written
+	// during it, so the Enabled fast path reads it without the lock.
+	disabled bool
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
 
+// Enabled reports whether recording is on. It is the hot-path gate for
+// span call sites: the hotalloc analyzer treats the body of an
+// `if t.Enabled() { ... }` statement as observability-cold, so attr
+// slices and Begin/Record calls built inside one cost nothing — not
+// even their argument construction — when tracing is off or the tracer
+// is nil.
+//
+//gflink:hotpath
+func (t *Tracer) Enabled() bool { return t != nil && !t.disabled }
+
+// SetEnabled turns recording on or off. A disabled tracer drops
+// Record, and Begin hands out the shared no-op OpenSpan. Flip it only
+// while the simulation is quiescent (before Run, or between runs):
+// the flag is read lock-free on the hot path.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.disabled = !on
+}
+
 // Record appends one completed span. start and end must come from the
 // virtual clock (or be derived from virtual-clock readings).
 //
-// Record is on the GWork hot path (a nil tracer returns before touching
-// anything); with tracing on, span storage grows amortized — use
-// Reserve to preallocate it when the span count is known up front.
+// Record is on the GWork hot path (a nil or disabled tracer returns
+// before touching anything); with tracing on, span storage grows
+// amortized — use Reserve to preallocate it when the span count is
+// known up front.
 //
 //gflink:hotpath
 func (t *Tracer) Record(track, cat, name string, start, end time.Duration, attrs ...Attr) {
-	if t == nil {
+	if !t.Enabled() {
 		return
 	}
 	t.mu.Lock()
@@ -141,30 +169,48 @@ type OpenSpan struct {
 	attrs []Attr
 }
 
+// noopOpen is the sentinel OpenSpan Begin hands out when tracing is
+// off: shared, immutable, and with no tracer attached, so End on it
+// returns immediately. Handing out a sentinel instead of nil keeps the
+// whole Begin/End pair allocation-free with tracing off without
+// forcing call sites to branch.
+var noopOpen = &OpenSpan{}
+
 // Begin opens a span at a virtual-clock timestamp. The span is recorded
 // when End is called; until then it is invisible to Spans/Len. Begin on
-// a nil tracer returns nil, and End on a nil OpenSpan is a no-op, so
-// the pair is as thread-through-able as Record.
+// a nil or disabled tracer returns the shared no-op OpenSpan — zero
+// allocations — and End on a nil or no-op OpenSpan is a no-op, so the
+// pair is as thread-through-able as Record. Attr arguments still cost
+// a variadic slice at the call site even when tracing is off; hot
+// paths wrap attr-carrying Begins in an `if t.Enabled()` guard.
+//
+//gflink:hotpath
 func (t *Tracer) Begin(track, cat, name string, start time.Duration, attrs ...Attr) *OpenSpan {
-	if t == nil {
-		return nil
+	if !t.Enabled() {
+		return noopOpen
 	}
+	//gflink:allow-alloc tracing-on span shell; the disabled path returns the shared sentinel
 	return &OpenSpan{t: t, track: track, cat: cat, name: name, start: start, attrs: attrs}
 }
 
 // End completes the span at a virtual-clock timestamp, appending any
 // extra attributes after the ones given to Begin. The recording order
 // (and with it the span's Seq) is the order of End calls, exactly as if
-// the caller had invoked Record at this point.
+// the caller had invoked Record at this point. End on a nil or no-op
+// OpenSpan touches nothing and allocates nothing.
+//
+//gflink:hotpath
 func (s *OpenSpan) End(end time.Duration, attrs ...Attr) {
-	if s == nil || s.t == nil {
+	if s == nil {
 		return
 	}
-	all := s.attrs
-	if len(attrs) > 0 {
-		all = append(append([]Attr(nil), s.attrs...), attrs...)
+	if s.t.Enabled() {
+		all := s.attrs
+		if len(attrs) > 0 {
+			all = append(append([]Attr(nil), s.attrs...), attrs...)
+		}
+		s.t.Record(s.track, s.cat, s.name, s.start, end, all...)
 	}
-	s.t.Record(s.track, s.cat, s.name, s.start, end, all...)
 }
 
 // WorkReport is the per-GWork execution report: where the work ran and
@@ -243,20 +289,113 @@ type Metric struct {
 
 // Registry is a set of named monotonic counters. Like the tracer it is
 // nil-safe, and snapshots are sorted so consumers never observe map
-// order.
+// order. Hot producers preregister a Counter handle once and bump it
+// lock-free; ad-hoc producers use Add/Max, which pay a mutex and a map
+// probe per call.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
+	handles  map[string]*Counter
+	// disabled is set before the simulation runs and never written
+	// during it, so the Enabled fast path reads it without the lock.
+	disabled bool
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{counters: make(map[string]int64)} }
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64), handles: make(map[string]*Counter)}
+}
+
+// Counter is a preregistered handle on one named counter: a direct
+// slot pointer, bumped without hashing the name or taking the registry
+// lock. Safe under the cooperative virtual-clock scheduler — exactly
+// one process runs at a time, with happens-before edges through every
+// handoff — which is the same discipline the stream-worker scratch
+// buffers rely on. A nil Counter (from a nil registry) drops writes.
+type Counter struct {
+	name     string
+	v        int64
+	disabled bool
+}
+
+// Counter interns name and returns its handle. Handles registered for
+// the same name share a slot. Registering on a nil registry returns
+// nil, whose methods are no-ops, so construction-time wiring needs no
+// guards.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.handles[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, disabled: r.disabled}
+	r.handles[name] = c
+	return c
+}
+
+// Add increments the counter by delta: one predictable branch and one
+// integer add on the hot path.
+//
+//gflink:hotpath
+func (c *Counter) Add(delta int64) {
+	if c == nil || c.disabled {
+		return
+	}
+	c.v += delta
+}
+
+// Max raises the counter to v if v exceeds its current value.
+//
+//gflink:hotpath
+func (c *Counter) Max(v int64) {
+	if c == nil || c.disabled {
+		return
+	}
+	if v > c.v {
+		c.v = v
+	}
+}
+
+// Get returns the counter's current value.
+//
+//gflink:hotpath
+func (c *Counter) Get() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Enabled reports whether the registry accepts writes; like
+// Tracer.Enabled it is the zero-cost gate for metric call sites that
+// would otherwise build names or values just to record them.
+//
+//gflink:hotpath
+func (r *Registry) Enabled() bool { return r != nil && !r.disabled }
+
+// SetEnabled turns recording on or off, including every handle already
+// registered. Flip it only while the simulation is quiescent (before
+// Run, or between runs): the flag is read lock-free on the hot path.
+func (r *Registry) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.disabled = !on
+	for _, c := range r.handles { //gflink:unordered — flag write, no observable order
+		c.disabled = !on
+	}
+}
 
 // Add increments the named counter by delta.
 //
 //gflink:hotpath
 func (r *Registry) Add(name string, delta int64) {
-	if r == nil {
+	if !r.Enabled() {
 		return
 	}
 	r.mu.Lock()
@@ -271,7 +410,7 @@ func (r *Registry) Add(name string, delta int64) {
 //
 //gflink:hotpath
 func (r *Registry) Max(name string, v int64) {
-	if r == nil {
+	if !r.Enabled() {
 		return
 	}
 	r.mu.Lock()
@@ -282,7 +421,8 @@ func (r *Registry) Max(name string, v int64) {
 	}
 }
 
-// Get returns the named counter's value (0 when never incremented).
+// Get returns the named counter's value (0 when never incremented),
+// whether it lives in a preregistered handle or the ad-hoc map.
 //
 //gflink:hotpath
 func (r *Registry) Get(name string) int64 {
@@ -291,6 +431,9 @@ func (r *Registry) Get(name string) int64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if c, ok := r.handles[name]; ok {
+		return c.v + r.counters[name]
+	}
 	return r.counters[name]
 }
 
@@ -309,24 +452,41 @@ func (r *Registry) Total(prefix string) int64 {
 			n += v
 		}
 	}
+	for name, c := range r.handles { //gflink:unordered — summing ints
+		if strings.HasPrefix(name, prefix) {
+			n += c.v
+		}
+	}
 	return n
 }
 
-// Snapshot returns every counter sorted by name.
+// Snapshot returns every nonzero-or-map-resident counter sorted by
+// name, merging preregistered handles with the ad-hoc map. A handle
+// that was never bumped stays out of the snapshot, matching the map
+// counters' never-incremented behavior.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters))
-	for name := range r.counters {
+	totals := make(map[string]int64, len(r.counters)+len(r.handles))
+	for name, v := range r.counters { //gflink:unordered — merged into totals, sorted below
+		totals[name] = v
+	}
+	for name, c := range r.handles { //gflink:unordered — merged into totals, sorted below
+		if c.v != 0 {
+			totals[name] += c.v
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	out := make([]Metric, 0, len(names))
 	for _, name := range names {
-		out = append(out, Metric{Name: name, Value: r.counters[name]})
+		out = append(out, Metric{Name: name, Value: totals[name]})
 	}
 	return out
 }

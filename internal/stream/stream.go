@@ -272,10 +272,10 @@ type stage struct {
 	src SourceSpec
 	win WindowSpec
 
-	// Precomputed counter names (stream.<what>.s<idx>), so per-batch
-	// accounting never formats strings.
-	cntRecords, cntBatches, cntWindows string
-	cntBlocked, cntGrants, cntDepth    string
+	// Preregistered counter handles (stream.<what>.s<idx>), so per-batch
+	// accounting neither formats strings nor hashes counter names.
+	cntRecords, cntBatches, cntWindows *obs.Counter
+	cntBlocked, cntGrants, cntDepth    *obs.Counter
 
 	// run measurements, aggregated into Result after the group joins.
 	records, batches, windows int64
@@ -308,12 +308,12 @@ func (p *Pipeline) addStage(kind stageKind, name string, worker int) *stage {
 		p: p, idx: len(p.stages), kind: kind, name: name, worker: worker,
 		track: fmt.Sprintf("stream/%s/%s", p.name, name),
 	}
-	s.cntRecords = fmt.Sprintf("stream.records.s%d", s.idx)
-	s.cntBatches = fmt.Sprintf("stream.batches.s%d", s.idx)
-	s.cntWindows = fmt.Sprintf("stream.windows.s%d", s.idx)
-	s.cntBlocked = fmt.Sprintf("stream.blockedns.s%d", s.idx)
-	s.cntGrants = fmt.Sprintf("stream.grants.s%d", s.idx)
-	s.cntDepth = fmt.Sprintf("stream.depthmax.s%d", s.idx)
+	s.cntRecords = p.metrics.Counter(fmt.Sprintf("stream.records.s%d", s.idx))
+	s.cntBatches = p.metrics.Counter(fmt.Sprintf("stream.batches.s%d", s.idx))
+	s.cntWindows = p.metrics.Counter(fmt.Sprintf("stream.windows.s%d", s.idx))
+	s.cntBlocked = p.metrics.Counter(fmt.Sprintf("stream.blockedns.s%d", s.idx))
+	s.cntGrants = p.metrics.Counter(fmt.Sprintf("stream.grants.s%d", s.idx))
+	s.cntDepth = p.metrics.Counter(fmt.Sprintf("stream.depthmax.s%d", s.idx))
 	p.stages = append(p.stages, s)
 	return s
 }
@@ -532,17 +532,17 @@ func (e *edge) send(b *batch) {
 	e.credits.Acquire(1)
 	if blocked := clock.Now() - t0; blocked > 0 {
 		e.from.blocked += blocked
-		e.p.metrics.Add(e.from.cntBlocked, int64(blocked))
+		e.from.cntBlocked.Add(int64(blocked))
 		e.p.tracer.Record(e.from.track, "backpressure", "credit-wait", t0, clock.Now())
 	}
 	e.p.g.Cluster.Net.Transfer(e.from.worker, e.to.worker, int64(len(b.recs))*e.p.opts.RecordBytes)
 	e.q.Put(b)
 	if d := e.q.Len(); d > e.depthMax {
 		e.depthMax = d
-		e.p.metrics.Max(e.from.cntDepth, int64(d))
+		e.from.cntDepth.Max(int64(d))
 	}
 	e.from.batches++
-	e.p.metrics.Add(e.from.cntBatches, 1)
+	e.from.cntBatches.Add(1)
 }
 
 // closeSend marks the stream drained: consumers observe end-of-stream
@@ -568,7 +568,7 @@ func (e *edge) courier() {
 		e.p.g.Cluster.Net.Transfer(e.to.worker, e.from.worker, costmodel.StreamCreditBytes)
 		e.free.Put(b)
 		e.credits.Release(1)
-		e.p.metrics.Add(e.from.cntGrants, 1)
+		e.from.cntGrants.Add(1)
 	}
 }
 
@@ -610,7 +610,7 @@ func (s *stage) runSource() {
 		n := int64(len(b.recs))
 		clock.Sleep(model.CPU.SlotTime(n, s.src.PerRecord.Scale(float64(n))))
 		s.records += n
-		s.p.metrics.Add(s.cntRecords, n)
+		s.cntRecords.Add(n)
 		s.out.send(b)
 	}
 	s.out.closeSend()
@@ -645,7 +645,7 @@ func (s *stage) runWindow() {
 		}
 		n := int64(len(b.recs))
 		s.records += n
-		s.p.metrics.Add(s.cntRecords, n)
+		s.cntRecords.Add(n)
 		s.in.ack(b)
 	}
 	if len(s.winRecs) > 0 {
@@ -694,7 +694,7 @@ func (s *stage) fireWindow() {
 	}
 
 	s.windows++
-	s.p.metrics.Add(s.cntWindows, 1)
+	s.cntWindows.Add(1)
 	s.p.tracer.Record(s.track, "window", "window", t0, clock.Now(),
 		obs.Int("records", int64(n)),
 		obs.Str("placed", s.dev.String()))
@@ -774,7 +774,7 @@ func (s *stage) runSink() {
 			s.checksum += float64(r.Val) * float64(r.Key+1)
 		}
 		s.records += n
-		s.p.metrics.Add(s.cntRecords, n)
+		s.cntRecords.Add(n)
 		s.in.ack(b)
 	}
 }

@@ -4,13 +4,15 @@ import (
 	"time"
 )
 
-// waiter is a parked process waiting on a primitive. Wakeups send one
-// value into ch (buffered, capacity 1), so a woken waiter's channel is
-// empty again and the waiter can be recycled through the clock's free
-// list once its process resumes.
+// waiter is a parked process waiting on a primitive: the process shell
+// to wake plus the semaphore units it requested. Wakes target the
+// process's own channel, so in the batched engine the waker recycles
+// the waiter shell the moment it leaves the wait queue; the legacy
+// engine keeps the pre-batching behavior of the woken process
+// re-locking to recycle it.
 type waiter struct {
-	ch chan struct{}
-	n  int64 // semaphore units requested
+	p *proc
+	n int64 // semaphore units requested
 }
 
 // Queue is an unbounded FIFO channel between processes. Get blocks on an
@@ -52,7 +54,10 @@ func (q *Queue[T]) Close() {
 		if !ok {
 			break
 		}
-		q.c.ready("queue", w.ch)
+		q.c.ready(reasonQueue, w.p)
+		if !q.c.legacy {
+			q.c.putWaiterLocked(w)
+		}
 	}
 }
 
@@ -71,15 +76,19 @@ func (q *Queue[T]) Get() (v T, ok bool) {
 			q.c.mu.Unlock()
 			return v, false
 		}
-		w := q.c.takeWaiterLocked(0)
+		p := q.c.cur
+		w := q.c.takeWaiterLocked(p, 0)
 		q.waiters.Push(w)
-		q.c.block("queue")
+		q.c.block(reasonQueue, nil)
 		q.c.mu.Unlock()
-		<-w.ch
-		// Woken by a one-shot send: w.ch is drained and w is out of the
-		// waiter queue, so the waiter can be recycled before re-checking.
+		<-p.ch
+		// The wake was a one-shot send into the process's own channel;
+		// re-lock and re-check. The waker already recycled the waiter
+		// shell (batched engine); the legacy engine recycles it here.
 		q.c.mu.Lock()
-		q.c.putWaiterLocked(w)
+		if q.c.legacy {
+			q.c.putWaiterLocked(w)
+		}
 	}
 }
 
@@ -104,7 +113,10 @@ func (q *Queue[T]) Len() int {
 //gflink:hotpath
 func (q *Queue[T]) wakeOneLocked() {
 	if w, ok := q.waiters.Pop(); ok {
-		q.c.ready("queue", w.ch)
+		q.c.ready(reasonQueue, w.p)
+		if !q.c.legacy {
+			q.c.putWaiterLocked(w)
+		}
 	}
 }
 
@@ -112,12 +124,12 @@ func (q *Queue[T]) wakeOneLocked() {
 // resources (CPU cores, DMA engines, device compute). Acquire order is
 // FIFO, which keeps simulations deterministic.
 type Semaphore struct {
-	c       *Clock
-	name    string
-	reason  string // "sem:"+name, precomputed so parks don't concatenate
-	free    int64
-	cap     int64
-	waiters FIFO[*waiter]
+	c         *Clock
+	name      string
+	reasonIdx int // census index of "sem:"+name, interned at construction
+	free      int64
+	cap       int64
+	waiters   FIFO[*waiter]
 }
 
 // NewSemaphore returns a semaphore with the given capacity.
@@ -125,7 +137,7 @@ func NewSemaphore(c *Clock, name string, capacity int64) *Semaphore {
 	if capacity <= 0 {
 		panic("vclock: semaphore capacity must be positive")
 	}
-	return &Semaphore{c: c, name: name, reason: "sem:" + name, free: capacity, cap: capacity}
+	return &Semaphore{c: c, name: name, reasonIdx: c.RegisterReason("sem:" + name), free: capacity, cap: capacity}
 }
 
 // Acquire blocks until n units are available and takes them. n greater
@@ -144,16 +156,19 @@ func (s *Semaphore) Acquire(n int64) {
 		s.c.mu.Unlock()
 		return
 	}
-	w := s.c.takeWaiterLocked(n)
+	p := s.c.cur
+	w := s.c.takeWaiterLocked(p, n)
 	s.waiters.Push(w)
-	s.c.block(s.reason)
+	s.c.block(s.reasonIdx, nil)
 	s.c.mu.Unlock()
-	<-w.ch
-	// Woken by a one-shot send: w.ch is drained and Release already
-	// removed w from the waiter queue, so the waiter can be recycled.
-	s.c.mu.Lock()
-	s.c.putWaiterLocked(w)
-	s.c.mu.Unlock()
+	<-p.ch
+	if s.c.legacy {
+		// Pre-batching behavior: the woken process re-locks to recycle
+		// the waiter shell Release removed from the queue.
+		s.c.mu.Lock()
+		s.c.putWaiterLocked(w)
+		s.c.mu.Unlock()
+	}
 }
 
 // Release returns n units and wakes as many queued acquirers as now fit,
@@ -175,7 +190,10 @@ func (s *Semaphore) Release(n int64) {
 		}
 		s.waiters.Pop()
 		s.free -= w.n
-		s.c.ready(s.reason, w.ch)
+		s.c.ready(s.reasonIdx, w.p)
+		if !s.c.legacy {
+			s.c.putWaiterLocked(w)
+		}
 	}
 }
 
@@ -223,7 +241,10 @@ func (e *Event) Set() {
 		if !ok {
 			break
 		}
-		e.c.ready("event", w.ch)
+		e.c.ready(reasonEvent, w.p)
+		if !e.c.legacy {
+			e.c.putWaiterLocked(w)
+		}
 	}
 }
 
@@ -236,16 +257,19 @@ func (e *Event) Wait() {
 		e.c.mu.Unlock()
 		return
 	}
-	w := e.c.takeWaiterLocked(0)
+	p := e.c.cur
+	w := e.c.takeWaiterLocked(p, 0)
 	e.waiters.Push(w)
-	e.c.block("event")
+	e.c.block(reasonEvent, nil)
 	e.c.mu.Unlock()
-	<-w.ch
-	// Woken by a one-shot send: w.ch is drained and Set already removed
-	// w from the waiter queue, so the waiter can be recycled.
-	e.c.mu.Lock()
-	e.c.putWaiterLocked(w)
-	e.c.mu.Unlock()
+	<-p.ch
+	if e.c.legacy {
+		// Pre-batching behavior: the woken process re-locks to recycle
+		// the waiter shell Set removed from the queue.
+		e.c.mu.Lock()
+		e.c.putWaiterLocked(w)
+		e.c.mu.Unlock()
+	}
 }
 
 // IsSet reports whether the event fired.

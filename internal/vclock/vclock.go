@@ -14,6 +14,12 @@
 // processes wake at the same instant — deterministic and independent of
 // host scheduling, GOMAXPROCS, or wall time.
 //
+// Dispatch is batched: when the clock advances, every timer sharing the
+// new instant is drained from the heap at once, in seq order, into a
+// wake batch; readied processes still run before the next batch member
+// fires, so the observable wake order is exactly the pre-batching
+// FIFO-by-seq order (see DESIGN.md "Simulator engine").
+//
 // If every process is blocked and no timer is pending, the simulation
 // cannot make progress; the kernel panics with a diagnostic listing the
 // blocked processes, which turns would-be hangs into debuggable errors.
@@ -25,51 +31,145 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+)
+
+// proc is one registered process: a permanent wake channel the
+// dispatcher sends into (one-shot, buffered) plus the process name for
+// diagnostics. The shell is recycled through a free list when the
+// process exits, so timeout- and deadline-heavy workloads that spawn
+// short-lived processes stay allocation-free at steady state.
+type proc struct {
+	ch   chan struct{}
+	name string
+}
+
+// Census indices for the closed set of built-in block reasons. The
+// blocked-process census is a fixed-index counter array — not a map —
+// so the hot park/wake path never hashes a string; semaphores register
+// their "sem:<name>" labels with RegisterReason at construction.
+const (
+	reasonSleep = iota
+	reasonQueue
+	reasonEvent
+	numBuiltinReasons
 )
 
 // Clock is a virtual-time scheduler. The zero value is not usable; use
 // New.
 type Clock struct {
-	mu      sync.Mutex
-	now     time.Duration
-	running int                 // processes currently executing: 0 or 1 once Run starts
-	total   int                 // registered processes alive
-	runq    FIFO[chan struct{}] // ready processes awaiting dispatch, in wake order
+	mu  sync.Mutex
+	now time.Duration
+	// nowNanos mirrors now for lock-free Now(): it is written under mu,
+	// always before the wake-up send that lets another process run, and
+	// read atomically by everyone else.
+	nowNanos int64
+	running  int   // processes currently executing: 0 or 1 once Run starts
+	total    int   // registered processes alive
+	cur      *proc // the process holding the execution slot
+	// runq holds readied processes in wake order; wakeq holds the
+	// remainder of the current co-deadline timer batch in seq order.
+	// Dispatch order is runq, then wakeq, then a fresh batch from the
+	// timer heap.
+	runq    Ring[*proc]
+	wakeq   Ring[*proc]
 	timers  timerHeap
 	seq     uint64 // tie-break for identical deadlines; preserves FIFO order
 	started bool   // set by Run; no advancement/deadlock checks before it
 	done    chan struct{}
-	blocked map[string]int // reason -> count, for deadlock diagnostics
+	// Fixed-index blocked census for deadlock diagnostics: blockedN[i]
+	// processes are parked for reasonLabels[i].
+	reasonLabels []string
+	blockedN     []int
+	// legacy selects the pre-batching dispatch engine (one timer per
+	// dispatch, census map, per-park recycle round trip) for speedup
+	// baselines and byte-identity tests. Immutable once Run starts.
+	legacy        bool
+	legacyBlocked map[string]int
 	// panicked records a panic raised inside a process so Run can
 	// re-raise it on the caller's goroutine.
 	panicked any
 	hasPanic bool
 	// Free lists recycling park machinery across blocks: wake-ups are
-	// one-shot sends into each waiter/timer's buffered channel, so the
-	// channel is empty — and reusable — the moment its parked process
-	// resumes. This keeps the park/wake cycle in Sleep and the
-	// primitives allocation-free at steady state (invariant 10).
+	// one-shot sends into each process's buffered channel, so timer and
+	// waiter shells are reusable the moment their wake is queued. This
+	// keeps the park/wake cycle in Sleep and the primitives
+	// allocation-free at steady state (invariant 10).
 	freeWaiters []*waiter
 	freeTimers  []*timer
+	freeProcs   []*proc
 }
 
 // New returns a Clock positioned at virtual time zero.
 func New() *Clock {
 	return &Clock{
-		done:    make(chan struct{}),
-		blocked: make(map[string]int),
+		done:         make(chan struct{}),
+		reasonLabels: []string{"sleep", "queue", "event"},
+		blockedN:     make([]int, numBuiltinReasons),
 	}
 }
 
+// SetLegacyDispatch switches the clock to the pre-batching dispatch
+// engine: timers fire one per dispatch with a full channel handoff
+// each, the blocked census is a string-keyed map, and parked processes
+// re-lock after waking to recycle their park shells. Schedules and
+// traces are byte-identical to the batched engine — only the constant
+// factor differs — which is exactly what the vclock-bench speedup
+// baseline and the dispatch-equivalence tests need. It must be called
+// before Run.
+func (c *Clock) SetLegacyDispatch(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		panic("vclock: SetLegacyDispatch after Run started")
+	}
+	c.legacy = on
+	if on && c.legacyBlocked == nil {
+		c.legacyBlocked = make(map[string]int)
+	}
+}
+
+// RegisterReason interns a block-reason label for the deadlock census
+// and returns its fixed index. Labels are deduplicated, so primitives
+// sharing a name share a census row exactly as the map census did.
+func (c *Clock) RegisterReason(label string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, l := range c.reasonLabels {
+		if l == label {
+			return i
+		}
+	}
+	c.reasonLabels = append(c.reasonLabels, label)
+	c.blockedN = append(c.blockedN, 0)
+	return len(c.reasonLabels) - 1
+}
+
 // Now reports the current virtual time as a duration since the start of
-// the simulation.
+// the simulation. The batched engine reads it lock-free: the dispatcher
+// publishes the instant atomically before any wake-up send, and only
+// the dispatcher — which runs while every other process is parked —
+// ever writes it.
 //
 //gflink:hotpath
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	if c.legacy {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.now
+	}
+	return time.Duration(atomic.LoadInt64(&c.nowNanos))
+}
+
+// setNowLocked advances the clock, publishing the new instant for
+// lock-free Now readers. Callers must hold c.mu and must not have sent
+// any wake-up for the new instant yet.
+//
+//gflink:hotpath
+func (c *Clock) setNowLocked(d time.Duration) {
+	c.now = d
+	atomic.StoreInt64(&c.nowNanos, int64(d))
 }
 
 // Go spawns fn as a new registered process. It may be called from any
@@ -78,10 +178,10 @@ func (c *Clock) Now() time.Duration {
 // and is dispatched when the current process blocks or exits, so spawn
 // order — not host scheduling — decides execution order.
 func (c *Clock) Go(name string, fn func()) {
-	ch := make(chan struct{}, 1)
 	c.mu.Lock()
+	p := c.takeProcLocked(name)
 	c.total++
-	c.runq.Push(ch)
+	c.runq.Push(p)
 	c.mu.Unlock()
 	// The vclock runtime is the one place real goroutines are created:
 	// every simulated process is backed by exactly one, registered with
@@ -94,13 +194,13 @@ func (c *Clock) Go(name string, fn func()) {
 				c.mu.Lock()
 				if !c.hasPanic {
 					c.hasPanic = true
-					c.panicked = fmt.Errorf("process %q panicked: %v", name, r)
+					c.panicked = fmt.Errorf("process %q panicked: %v", p.name, r)
 				}
 				c.mu.Unlock()
 			}
-			c.exit()
+			c.exit(p)
 		}()
-		<-ch
+		<-p.ch
 		fn()
 	}()
 }
@@ -118,7 +218,7 @@ func (c *Clock) Run(root func()) time.Duration {
 	c.started = true
 	// Kick the dispatcher: processes spawned before Run (including root)
 	// are parked in the ready queue and run from here on, one at a time.
-	c.dispatchLocked()
+	c.dispatchLocked(nil)
 	c.mu.Unlock()
 	<-c.done
 	c.mu.Lock()
@@ -129,11 +229,15 @@ func (c *Clock) Run(root func()) time.Duration {
 	return c.now
 }
 
-// exit unregisters the calling process.
-func (c *Clock) exit() {
+// exit unregisters the calling process and recycles its shell. The
+// wake channel is provably empty here — every wake-up is a one-shot
+// send the process consumed before running — so the shell (channel
+// included) is immediately reusable by a future Go.
+func (c *Clock) exit(p *proc) {
 	c.mu.Lock()
 	c.running--
 	c.total--
+	c.putProcLocked(p)
 	if c.total == 0 {
 		defer c.mu.Unlock()
 		select {
@@ -143,7 +247,7 @@ func (c *Clock) exit() {
 		}
 		return
 	}
-	c.dispatchLocked()
+	c.dispatchLocked(nil)
 	c.mu.Unlock()
 }
 
@@ -152,31 +256,68 @@ func (c *Clock) exit() {
 // still round-trips through the timer heap so that co-scheduled wakeups
 // at the same instant occur in FIFO order.
 //
+// When the sleeper's own timer heads the next dispatch batch — common
+// when one worker races ahead of every other process — block reports a
+// self-wake and Sleep returns without touching its wake channel at all:
+// one locked section, zero channel operations.
+//
 //gflink:hotpath
 func (c *Clock) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	c.mu.Lock()
-	t := c.takeTimerLocked(c.now + d)
+	p := c.cur
+	t := c.takeTimerLocked(p, c.now+d)
 	heap.Push(&c.timers, t)
-	c.block("sleep")
+	if c.legacy {
+		c.block(reasonSleep, nil)
+		c.mu.Unlock()
+		<-p.ch
+		// Woken by a one-shot send: p.ch is drained and t is off the heap,
+		// so the timer can be recycled. The extra lock round-trip changes
+		// no scheduling decision — this process already holds the
+		// execution slot. (The batched engine recycles the timer inside
+		// the dispatcher instead and skips this round trip.)
+		c.mu.Lock()
+		c.putTimerLocked(t)
+		c.mu.Unlock()
+		return
+	}
+	if c.block(reasonSleep, p) {
+		c.mu.Unlock()
+		return
+	}
 	c.mu.Unlock()
-	<-t.ch
-	// Woken by a one-shot send: t.ch is drained and t is off the heap, so
-	// the timer can be recycled. The extra lock round-trip changes no
-	// scheduling decision — this process already holds the execution slot.
-	c.mu.Lock()
-	c.putTimerLocked(t)
-	c.mu.Unlock()
+	<-p.ch
 }
 
-// takeTimerLocked returns a recycled (or new) timer armed for deadline,
-// with the global wake sequence already assigned. Callers must hold
+// takeProcLocked returns a recycled (or new) process shell. Callers
+// must hold c.mu.
+func (c *Clock) takeProcLocked(name string) *proc {
+	if n := len(c.freeProcs); n > 0 {
+		p := c.freeProcs[n-1]
+		c.freeProcs[n-1] = nil
+		c.freeProcs = c.freeProcs[:n-1]
+		p.name = name
+		return p
+	}
+	return &proc{ch: make(chan struct{}, 1), name: name}
+}
+
+// putProcLocked recycles an exited process's shell. Callers must hold
 // c.mu.
+func (c *Clock) putProcLocked(p *proc) {
+	p.name = ""
+	c.freeProcs = append(c.freeProcs, p)
+}
+
+// takeTimerLocked returns a recycled (or new) timer armed for deadline
+// on behalf of p, with the global wake sequence already assigned.
+// Callers must hold c.mu.
 //
 //gflink:hotpath
-func (c *Clock) takeTimerLocked(deadline time.Duration) *timer {
+func (c *Clock) takeTimerLocked(p *proc, deadline time.Duration) *timer {
 	c.seq++
 	if n := len(c.freeTimers); n > 0 {
 		t := c.freeTimers[n-1]
@@ -184,109 +325,198 @@ func (c *Clock) takeTimerLocked(deadline time.Duration) *timer {
 		c.freeTimers = c.freeTimers[:n-1]
 		t.deadline = deadline
 		t.seq = c.seq
+		t.p = p
 		return t
 	}
 	//gflink:allow-alloc cold start: the free list amortizes this away at steady state
-	return &timer{deadline: deadline, seq: c.seq, ch: make(chan struct{}, 1)}
+	return &timer{deadline: deadline, seq: c.seq, p: p}
 }
 
-// putTimerLocked recycles a fired, drained timer. Callers must hold
-// c.mu.
+// putTimerLocked recycles a fired timer. The batched dispatcher calls
+// it the moment a timer is drained from the heap — before the wake-up
+// send — because the wake now targets the process shell, not the timer.
+// Callers must hold c.mu.
 //
 //gflink:hotpath
 func (c *Clock) putTimerLocked(t *timer) {
+	t.p = nil
 	//gflink:allow-alloc amortized growth of the timer free list
 	c.freeTimers = append(c.freeTimers, t)
 }
 
-// takeWaiterLocked returns a recycled (or new) waiter with an empty
-// wake channel and n set. Callers must hold c.mu.
+// takeWaiterLocked returns a recycled (or new) waiter parked for p with
+// n units requested. Callers must hold c.mu.
 //
 //gflink:hotpath
-func (c *Clock) takeWaiterLocked(n int64) *waiter {
+func (c *Clock) takeWaiterLocked(p *proc, n int64) *waiter {
 	if l := len(c.freeWaiters); l > 0 {
 		w := c.freeWaiters[l-1]
 		c.freeWaiters[l-1] = nil
 		c.freeWaiters = c.freeWaiters[:l-1]
+		w.p = p
 		w.n = n
 		return w
 	}
 	//gflink:allow-alloc cold start: the free list amortizes this away at steady state
-	return &waiter{ch: make(chan struct{}, 1), n: n}
+	return &waiter{p: p, n: n}
 }
 
-// putWaiterLocked recycles a woken, drained waiter. Callers must hold
-// c.mu.
+// putWaiterLocked recycles a waiter whose wake has been queued (batched
+// engine: the waker recycles it; legacy engine: the woken process does,
+// after re-locking). Callers must hold c.mu.
 //
 //gflink:hotpath
 func (c *Clock) putWaiterLocked(w *waiter) {
+	w.p = nil
 	w.n = 0
 	//gflink:allow-alloc amortized growth of the waiter free list
 	c.freeWaiters = append(c.freeWaiters, w)
 }
 
-// block marks the calling process blocked for the given reason and
-// hands the execution slot to the next ready process (advancing the
-// clock if none is ready). Callers must hold c.mu and, after releasing
-// it, must park on the channel their wake-up will send into.
+// block marks the calling process blocked for the given census reason
+// and hands the execution slot to the next ready process (advancing the
+// clock if none is ready). self is the calling process when the caller
+// can be woken by a timer it just armed; block returns true when the
+// dispatcher re-selected self, in which case the caller keeps the slot
+// and must NOT park. Callers must hold c.mu and, unless block reports a
+// self-wake, must park on their process channel after releasing it.
 //
 //gflink:hotpath
-func (c *Clock) block(reason string) {
+func (c *Clock) block(idx int, self *proc) bool {
 	c.running--
-	//gflink:allow-alloc bounded census map; steady-state writes hit existing buckets
-	c.blocked[reason]++
-	c.dispatchLocked()
-}
-
-// ready marks one process blocked for reason as ready to run again. It
-// joins the ready queue but does not execute until dispatched — the
-// waker keeps the execution slot until it blocks or exits, and queued
-// wake order is what makes contended admissions deterministic. Callers
-// must hold c.mu.
-//
-//gflink:hotpath
-func (c *Clock) ready(reason string, ch chan struct{}) {
-	//gflink:allow-alloc bounded census map; steady-state writes hit existing buckets
-	c.blocked[reason]--
-	if c.blocked[reason] == 0 {
-		delete(c.blocked, reason)
+	if c.legacy {
+		//gflink:allow-alloc legacy baseline engine keeps the pre-batching census map by design
+		c.legacyBlocked[c.reasonLabels[idx]]++
+		//gflink:allow-alloc legacy baseline engine: pre-batching one-timer dispatcher, off the production path
+		c.legacyDispatchLocked()
+		return false
 	}
-	c.runq.Push(ch)
+	c.blockedN[idx]++
+	return c.dispatchLocked(self)
 }
 
-// dispatchLocked hands the execution slot to the next ready process, or
-// — when none is ready — fires the earliest pending timer. Wake-ups are
-// one-shot sends into each process's buffered channel, so channels are
-// drained — and recyclable — the moment the woken process resumes.
-// Callers must hold c.mu.
+// ready marks one process blocked for the given census reason as ready
+// to run again. It joins the ready queue but does not execute until
+// dispatched — the waker keeps the execution slot until it blocks or
+// exits, and queued wake order is what makes contended admissions
+// deterministic. Callers must hold c.mu.
 //
 //gflink:hotpath
-func (c *Clock) dispatchLocked() {
+func (c *Clock) ready(idx int, p *proc) {
+	if c.legacy {
+		label := c.reasonLabels[idx]
+		//gflink:allow-alloc legacy baseline engine keeps the pre-batching census map by design
+		c.legacyBlocked[label]--
+		if c.legacyBlocked[label] == 0 {
+			delete(c.legacyBlocked, label)
+		}
+	} else {
+		c.blockedN[idx]--
+	}
+	c.runq.Push(p)
+}
+
+// dispatchLocked hands the execution slot to the next process in wake
+// order: a readied process first, then the rest of the current
+// co-deadline batch, then — with both queues empty — a fresh batch
+// drained from the timer heap. Draining every timer that shares the
+// earliest deadline in one locked sweep (seq order, which is FIFO
+// order) is what "batched dispatch" means; it is observationally
+// identical to the one-timer-per-dispatch engine because a timer armed
+// *after* the batch formed necessarily carries a larger seq and the
+// same instant, so it would have fired after the whole batch anyway.
+//
+// dispatchLocked returns true when the selected process is self: the
+// caller keeps the execution slot and no channel operation happens at
+// all. Callers must hold c.mu.
+//
+//gflink:hotpath
+func (c *Clock) dispatchLocked(self *proc) bool {
+	if c.legacy {
+		// Route every dispatch entry point (block, exit, Run) through the
+		// one-timer engine on a legacy clock. Mixing dispatchers corrupts
+		// the park machinery: this path recycles fired timers and forms
+		// wakeq batches, while legacy sleepers recycle their own timers
+		// and legacyDispatchLocked never drains wakeq.
+		//gflink:allow-alloc legacy baseline engine: pre-batching one-timer dispatcher, off the production path
+		c.legacyDispatchLocked()
+		return false
+	}
 	if !c.started || c.running > 0 || c.total == 0 {
-		return
+		return false
 	}
-	if ch, ok := c.runq.Pop(); ok {
-		c.running++
-		ch <- struct{}{}
-		return
+	if p, ok := c.runq.Pop(); ok {
+		return c.handoffLocked(p, self)
+	}
+	if p, ok := c.wakeq.Pop(); ok {
+		return c.handoffLocked(p, self)
 	}
 	if len(c.timers) == 0 {
 		//gflink:allow-alloc deadlock diagnostics: cold path that ends the simulation
 		c.deadlockLocked()
+		return false
+	}
+	// Form the batch: pop every timer sharing the earliest deadline, in
+	// seq order. The first wakes now; the rest wait in wakeq behind any
+	// processes the woken ones ready (virtual time holds still for the
+	// whole batch).
+	t := heap.Pop(&c.timers).(*timer)
+	c.setNowLocked(t.deadline)
+	c.blockedN[reasonSleep]--
+	p := t.p
+	c.putTimerLocked(t)
+	for len(c.timers) > 0 && c.timers[0].deadline == c.now {
+		t2 := heap.Pop(&c.timers).(*timer)
+		c.blockedN[reasonSleep]--
+		c.wakeq.Push(t2.p)
+		c.putTimerLocked(t2)
+	}
+	return c.handoffLocked(p, self)
+}
+
+// handoffLocked gives p the execution slot. A handoff to self is the
+// fast path: no channel send, the caller just keeps running. Callers
+// must hold c.mu.
+//
+//gflink:hotpath
+func (c *Clock) handoffLocked(p, self *proc) bool {
+	c.running++
+	c.cur = p
+	if p == self {
+		return true
+	}
+	p.ch <- struct{}{}
+	return false
+}
+
+// legacyDispatchLocked is the pre-batching dispatcher: next readied
+// process, else exactly one timer — the earliest pending (FIFO by seq
+// at equal deadlines) — fires per dispatch, with a full channel handoff
+// each. Co-deadline timers fire one by one as each woken process blocks
+// again; virtual time holds still in between. Callers must hold c.mu.
+func (c *Clock) legacyDispatchLocked() {
+	if !c.started || c.running > 0 || c.total == 0 {
 		return
 	}
-	// Fire the earliest timer (FIFO by seq at equal deadlines) and run
-	// its process. Co-deadline timers fire one by one as each woken
-	// process blocks again; virtual time holds still in between.
+	if p, ok := c.runq.Pop(); ok {
+		c.running++
+		c.cur = p
+		p.ch <- struct{}{}
+		return
+	}
+	if len(c.timers) == 0 {
+		c.deadlockLocked()
+		return
+	}
 	t := heap.Pop(&c.timers).(*timer)
-	c.now = t.deadline
-	//gflink:allow-alloc bounded census map; steady-state writes hit existing buckets
-	c.blocked["sleep"]--
-	if c.blocked["sleep"] == 0 {
-		delete(c.blocked, "sleep")
+	c.setNowLocked(t.deadline)
+	c.legacyBlocked["sleep"]--
+	if c.legacyBlocked["sleep"] == 0 {
+		delete(c.legacyBlocked, "sleep")
 	}
 	c.running++
-	t.ch <- struct{}{}
+	c.cur = t.p
+	t.p.ch <- struct{}{}
 }
 
 // deadlockLocked ends the simulation with a deadlock diagnostic. Either
@@ -308,25 +538,40 @@ func (c *Clock) deadlockLocked() {
 }
 
 // diagnosticLocked renders the blocked-process census for deadlock
-// panics.
+// panics: the nonzero reasons, sorted by label.
 func (c *Clock) diagnosticLocked() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  virtual time: %v\n  processes alive: %d\n  blocked on:\n", c.now, c.total)
-	reasons := make([]string, 0, len(c.blocked))
-	for r := range c.blocked {
-		reasons = append(reasons, r)
+	type row struct {
+		label string
+		n     int
 	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
-		fmt.Fprintf(&b, "    %-12s %d\n", r, c.blocked[r])
+	var rows []row
+	if c.legacy {
+		for label, n := range c.legacyBlocked { //gflink:unordered — sorted below
+			rows = append(rows, row{label, n})
+		}
+	} else {
+		for i, n := range c.blockedN {
+			if n != 0 {
+				rows = append(rows, row{c.reasonLabels[i], n})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].label < rows[j].label })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "    %-12s %d\n", r.label, r.n)
 	}
 	return b.String()
 }
 
+// timer is one pending Sleep deadline; the wake targets the parked
+// process's shell, so the dispatcher recycles the timer the moment it
+// leaves the heap.
 type timer struct {
 	deadline time.Duration
 	seq      uint64
-	ch       chan struct{}
+	p        *proc
 }
 
 type timerHeap []*timer
